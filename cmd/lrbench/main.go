@@ -1,0 +1,83 @@
+// Command lrbench runs the experiment suite E1–E8 and prints the tables
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lrbench [-quick] [-csv] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"linkreversal/internal/experiments"
+	"linkreversal/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lrbench", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "use the small parameter set")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		only  = fs.String("only", "", "run a single experiment (E1..E8)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := experiments.Defaults()
+	if *quick {
+		suite = experiments.Suite{
+			Sizes:       []int{8, 16},
+			WorstCaseNB: []int{4, 8, 16, 32},
+			Densities:   []float64{0.2, 0.5, 0.8},
+			Seeds:       2,
+		}
+	}
+	type exp struct {
+		id  string
+		run func(experiments.Suite) (*trace.Table, error)
+	}
+	all := []exp{
+		{id: "E1", run: experiments.E1Acyclicity},
+		{id: "E2", run: experiments.E2Invariants},
+		{id: "E3", run: experiments.E3Simulation},
+		{id: "E4", run: experiments.E4WorstCase},
+		{id: "E5", run: experiments.E5PRvsFR},
+		{id: "E6", run: experiments.E6DummyOverhead},
+		{id: "E7", run: experiments.E7SocialCost},
+		{id: "E8", run: experiments.E8Distributed},
+		{id: "E9", run: experiments.E9Rounds},
+		{id: "E10", run: experiments.E10Churn},
+		{id: "E11", run: experiments.E11DistributedChurn},
+		{id: "E12", run: experiments.E12Exhaustive},
+	}
+	for _, e := range all {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		tb, err := e.run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if *csv {
+			if err := tb.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := tb.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

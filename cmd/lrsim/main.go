@@ -1,0 +1,181 @@
+// Command lrsim runs one link-reversal algorithm on one topology and prints
+// run statistics, optionally emitting the final orientation as Graphviz DOT.
+//
+// Usage:
+//
+//	lrsim -topo bad-chain -n 16 -alg PR -sched greedy [-seed 1] [-dot] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	lr "linkreversal"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAlgorithm(s string) (lr.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "pr":
+		return lr.PR, nil
+	case "onesteppr":
+		return lr.OneStepPR, nil
+	case "newpr":
+		return lr.NewPR, nil
+	case "fr":
+		return lr.FR, nil
+	case "gbpair":
+		return lr.GBPair, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (PR, OneStepPR, NewPR, FR, GBPair)", s)
+	}
+}
+
+func parseScheduler(s string) (lr.Scheduler, error) {
+	switch strings.ToLower(s) {
+	case "greedy":
+		return lr.Greedy, nil
+	case "random-single":
+		return lr.RandomSingle, nil
+	case "random-subset":
+		return lr.RandomSubset, nil
+	case "round-robin":
+		return lr.RoundRobin, nil
+	case "lifo":
+		return lr.LIFO, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q (greedy, random-single, random-subset, round-robin, lifo)", s)
+	}
+}
+
+func parseTopology(name string, n int, p float64, seed int64) (*lr.Topology, error) {
+	switch strings.ToLower(name) {
+	case "bad-chain":
+		return lr.BadChain(n), nil
+	case "alt-chain":
+		return lr.AlternatingChain(n), nil
+	case "good-chain":
+		return lr.GoodChain(n), nil
+	case "star":
+		return lr.Star(n), nil
+	case "ladder":
+		return lr.Ladder(n), nil
+	case "grid":
+		return lr.Grid(n, n), nil
+	case "tree":
+		return lr.Tree(n, seed), nil
+	case "ring":
+		return lr.Ring(n, seed), nil
+	case "layered":
+		return lr.LayeredDAG(4, (n+2)/4, p, seed), nil
+	case "random":
+		return lr.RandomConnected(n, p, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (bad-chain, alt-chain, good-chain, star, ladder, grid, tree, ring, layered, random)", name)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lrsim", flag.ContinueOnError)
+	var (
+		topoName  = fs.String("topo", "bad-chain", "topology name")
+		n         = fs.Int("n", 16, "topology size parameter")
+		p         = fs.Float64("p", 0.3, "edge density for random topologies")
+		algName   = fs.String("alg", "PR", "algorithm: PR, OneStepPR, NewPR, FR, GBPair")
+		schedName = fs.String("sched", "greedy", "scheduler: greedy, random-single, random-subset, round-robin, lifo")
+		seed      = fs.Int64("seed", 1, "random seed")
+		check     = fs.Bool("check", false, "verify the paper's invariants after every step")
+		dot       = fs.Bool("dot", false, "print the final orientation as Graphviz DOT")
+		record    = fs.String("record", "", "write the execution as JSON to this file")
+		replay    = fs.String("replay", "", "replay a recorded execution instead of scheduling")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alg, err := parseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	s, err := parseScheduler(*schedName)
+	if err != nil {
+		return err
+	}
+	topo, err := parseTopology(*topoName, *n, *p, *seed)
+	if err != nil {
+		return err
+	}
+	var rep *lr.Report
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		exec, err := lr.DecodeExecution(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rep, err = lr.ReplayExecution(topo.Graph, topo.Initial, topo.Dest, alg, exec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed %d recorded steps faithfully\n", rep.Steps)
+	} else {
+		rep, err = lr.RunTopology(topo, lr.Config{
+			Algorithm:       alg,
+			Scheduler:       s,
+			Seed:            *seed,
+			CheckInvariants: *check,
+			RecordExecution: *record != "",
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if *record != "" && rep.Execution != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		if err := lr.EncodeExecution(f, rep.Execution); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("execution recorded to %s\n", *record)
+	}
+	fmt.Printf("topology:             %s (n=%d, m=%d, dest=%d)\n",
+		topo.Name, topo.Graph.NumNodes(), topo.Graph.NumEdges(), topo.Dest)
+	fmt.Printf("bad nodes initially:  %d\n", len(lr.BadNodes(topo.Initial, topo.Dest)))
+	if *replay != "" {
+		fmt.Printf("algorithm/scheduler:  %v / (replay of %s)\n", rep.Algorithm, *replay)
+	} else {
+		fmt.Printf("algorithm/scheduler:  %v / %v\n", rep.Algorithm, rep.Scheduler)
+	}
+	fmt.Printf("steps:                %d\n", rep.Steps)
+	fmt.Printf("total reversals:      %d\n", rep.TotalReversals)
+	if rep.Algorithm == lr.NewPR {
+		fmt.Printf("dummy steps:          %d\n", rep.DummySteps)
+	}
+	fmt.Printf("quiesced:             %v\n", rep.Quiesced)
+	fmt.Printf("acyclic:              %v\n", rep.Acyclic)
+	fmt.Printf("destination oriented: %v\n", rep.DestinationOriented)
+	if *check {
+		fmt.Printf("invariants:           checked after every step, no violations\n")
+	}
+	if *dot {
+		fmt.Println()
+		fmt.Print(lr.ExportDOT(rep.Final, topo.Name, topo.Dest))
+	}
+	return nil
+}

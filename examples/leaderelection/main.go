@@ -1,0 +1,91 @@
+// Leader election via link reversal (Malpani–Welch–Vaidya style): the DAG
+// is kept oriented toward the current leader; when nodes fail, each
+// surviving component elects its lowest live ID and repairs the orientation
+// incrementally with partial reversal — no flooding, no global restart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lr "linkreversal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A ring of 10 processes with two chords; node 0 is the first leader.
+	topo := lr.Ring(10, 3)
+	svc, err := lr.NewElectionService(topo)
+	if err != nil {
+		return err
+	}
+	leader, err := svc.Leader(5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch 1: leader is %d (%d reversal steps to orient everyone)\n", leader, svc.Steps())
+
+	// The leader crashes; the survivors re-elect.
+	if err := svc.Fail(leader); err != nil {
+		return err
+	}
+	if err := svc.Stabilize(); err != nil {
+		return err
+	}
+	leader2, err := svc.Leader(5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch 2: node %d failed → new leader %d (total steps now %d)\n",
+		leader, leader2, svc.Steps())
+
+	// A second failure splits the ring: each fragment elects its own head.
+	if err := svc.Fail(6); err != nil {
+		return err
+	}
+	if err := svc.Stabilize(); err != nil {
+		return err
+	}
+	fmt.Println("epoch 3: node 6 failed — per-component leaders:")
+	for u := 0; u < 10; u++ {
+		alive, err := svc.Alive(lr.NodeID(u))
+		if err != nil {
+			return err
+		}
+		if !alive {
+			continue
+		}
+		l, err := svc.Leader(lr.NodeID(u))
+		if err != nil {
+			return err
+		}
+		path, err := svc.PathToLeader(lr.NodeID(u))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  node %d → leader %d via %v\n", u, l, path)
+	}
+
+	// Recovery merges the fragments back under one leader.
+	if err := svc.Recover(leader); err != nil {
+		return err
+	}
+	if err := svc.Recover(6); err != nil {
+		return err
+	}
+	if err := svc.Stabilize(); err != nil {
+		return err
+	}
+	merged, err := svc.Leader(9)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch 4: both nodes recovered → single leader %d again; DAG acyclic: %v\n",
+		merged, svc.Acyclic())
+	return nil
+}

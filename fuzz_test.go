@@ -1,0 +1,88 @@
+package linkreversal_test
+
+import (
+	"bytes"
+	"testing"
+
+	lr "linkreversal"
+)
+
+// FuzzRunRandomTopology fuzzes the full pipeline: generator parameters →
+// Init validation → execution under a random scheduler → invariant checks.
+// Whatever the inputs, a run over a valid generated topology must quiesce
+// destination-oriented with an acyclic final graph.
+func FuzzRunRandomTopology(f *testing.F) {
+	f.Add(uint8(8), uint8(30), int64(1), uint8(1))
+	f.Add(uint8(2), uint8(0), int64(-5), uint8(3))
+	f.Add(uint8(40), uint8(99), int64(1234), uint8(5))
+	f.Fuzz(func(t *testing.T, rawN, rawP uint8, seed int64, rawAlg uint8) {
+		n := 2 + int(rawN)%24
+		p := float64(rawP%100) / 100.0
+		algs := []lr.Algorithm{lr.PR, lr.OneStepPR, lr.NewPR, lr.FR, lr.GBPair}
+		alg := algs[int(rawAlg)%len(algs)]
+		topo := lr.RandomConnected(n, p, seed)
+		rep, err := lr.RunTopology(topo, lr.Config{
+			Algorithm:       alg,
+			Scheduler:       lr.RandomSingle,
+			Seed:            seed,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatalf("run %v on %s: %v", alg, topo.Name, err)
+		}
+		if !rep.Quiesced || !rep.Acyclic || !rep.DestinationOriented {
+			t.Fatalf("bad outcome %+v", rep)
+		}
+	})
+}
+
+// FuzzGraphBuilder fuzzes edge lists into the builder: any accepted graph
+// must satisfy basic structural properties.
+func FuzzGraphBuilder(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(2), []byte{0, 0})
+	f.Add(uint8(3), []byte{0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, rawN uint8, pairs []byte) {
+		n := int(rawN) % 32
+		b := lr.NewGraphBuilder(n)
+		count := 0
+		for i := 0; i+1 < len(pairs); i += 2 {
+			b.AddEdge(lr.NodeID(int(pairs[i])%33-1), lr.NodeID(int(pairs[i+1])%33-1))
+			count++
+		}
+		g, err := b.Build()
+		if err != nil {
+			return // invalid input correctly rejected
+		}
+		if g.NumNodes() != n {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+		}
+		if g.NumEdges() > count {
+			t.Fatalf("more edges than added: %d > %d", g.NumEdges(), count)
+		}
+		// Every accepted graph admits an acyclic default orientation.
+		if !lr.IsAcyclic(lr.DefaultOrientation(g)) {
+			t.Fatal("default orientation not acyclic")
+		}
+	})
+}
+
+// FuzzExecutionDecode fuzzes the recording decoder: it must never panic
+// and must reject structurally invalid documents.
+func FuzzExecutionDecode(f *testing.F) {
+	f.Add([]byte(`{"algorithm":"PR","steps":[{"nodes":[1],"reversed":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		exec, err := lr.DecodeExecution(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded executions are structurally sound.
+		for _, r := range exec.Records {
+			if len(r.Action.Participants()) == 0 {
+				t.Fatal("decoded action with no participants")
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package automaton
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"linkreversal/internal/graph"
+)
+
+func TestReverseNodeAction(t *testing.T) {
+	a := ReverseNode{U: 7}
+	if got := a.Participants(); len(got) != 1 || got[0] != 7 {
+		t.Errorf("Participants = %v, want [7]", got)
+	}
+	if got := a.String(); got != "reverse(7)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNewReverseSetNormalizes(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []graph.NodeID
+		want []graph.NodeID
+	}{
+		{name: "sorts", in: []graph.NodeID{3, 1, 2}, want: []graph.NodeID{1, 2, 3}},
+		{name: "dedupes", in: []graph.NodeID{2, 2, 1, 1}, want: []graph.NodeID{1, 2}},
+		{name: "empty", in: nil, want: nil},
+		{name: "single", in: []graph.NodeID{5}, want: []graph.NodeID{5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewReverseSet(tt.in).S
+			if len(got) != len(tt.want) {
+				t.Fatalf("S = %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("S = %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestNewReverseSetDefensiveCopy(t *testing.T) {
+	in := []graph.NodeID{3, 1}
+	a := NewReverseSet(in)
+	in[0] = 99
+	if a.S[0] == 99 || a.S[1] == 99 {
+		t.Error("NewReverseSet shares caller's slice")
+	}
+}
+
+func TestReverseSetString(t *testing.T) {
+	a := NewReverseSet([]graph.NodeID{2, 0})
+	if got := a.String(); got != "reverse({0,2})" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	errBoom := errors.New("boom")
+	invs := []Invariant{
+		{Name: "ok", Check: func(Automaton) error { return nil }},
+		{Name: "bad", Check: func(Automaton) error { return errBoom }},
+	}
+	err := CheckAll(nil, invs)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("CheckAll error = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error should name the invariant: %v", err)
+	}
+	if err := CheckAll(nil, invs[:1]); err != nil {
+		t.Errorf("CheckAll on passing invariants = %v", err)
+	}
+	if err := CheckAll(nil, nil); err != nil {
+		t.Errorf("CheckAll on no invariants = %v", err)
+	}
+}
+
+func TestExecutionAccounting(t *testing.T) {
+	e := &Execution{AutomatonName: "PR"}
+	e.Append(ReverseNode{U: 1}, 2)
+	e.Append(ReverseNode{U: 2}, 3)
+	if e.Len() != 2 {
+		t.Errorf("Len = %d, want 2", e.Len())
+	}
+	if e.TotalReversals() != 5 {
+		t.Errorf("TotalReversals = %d, want 5", e.TotalReversals())
+	}
+	s := e.String()
+	for _, want := range []string{"PR", "2 steps", "5 reversals", "reverse(1)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestExecutionStringTruncates(t *testing.T) {
+	e := &Execution{AutomatonName: "FR"}
+	for i := 0; i < 30; i++ {
+		e.Append(ReverseNode{U: graph.NodeID(i)}, 1)
+	}
+	s := e.String()
+	if !strings.Contains(s, "more") {
+		t.Errorf("long execution should truncate: %s", s)
+	}
+}

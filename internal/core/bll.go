@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"linkreversal/internal/automaton"
+	"linkreversal/internal/graph"
+)
+
+// BLL is the Binary Link Labels automaton (Welch & Walter), the
+// generalization of Partial Reversal used by the earlier acyclicity proof
+// that the paper replaces. Each node u holds one binary label per incident
+// edge: marked or unmarked. When a sink u takes a step:
+//
+//   - if at least one incident edge is unmarked at u, it reverses exactly
+//     the unmarked edges;
+//   - otherwise (all edges marked at u) it reverses all incident edges;
+//   - every neighbour v whose edge was reversed marks the edge at v;
+//   - u clears all of its labels to unmarked.
+//
+// PR is the special case in which every label starts unmarked: "v marked at
+// u" is exactly "v ∈ list[u]". Other initial labelings are legal BLL states
+// but only those satisfying the global condition of Welch & Walter preserve
+// acyclicity — the ablation tests exercise both sides of that condition.
+type BLL struct {
+	init   *Init
+	orient *graph.Orientation
+	marked []nodeSet // marked[u] = neighbours whose edge is marked at u
+	steps  int
+	work   int
+}
+
+var (
+	_ automaton.Automaton = (*BLL)(nil)
+	_ automaton.Cloner    = (*BLL)(nil)
+)
+
+// NewBLL creates a BLL automaton. initialMarks[u] lists the neighbours whose
+// edge starts marked at u; a nil map means all labels start unmarked (the PR
+// special case). Marks naming non-neighbours are rejected.
+func NewBLL(in *Init, initialMarks map[graph.NodeID][]graph.NodeID) (*BLL, error) {
+	n := in.g.NumNodes()
+	marked := make([]nodeSet, n)
+	for i := range marked {
+		marked[i] = newNodeSet()
+	}
+	for u, vs := range initialMarks {
+		if !in.g.ValidNode(u) {
+			return nil, fmt.Errorf("core: BLL mark on unknown node %d", u)
+		}
+		for _, v := range vs {
+			if !in.g.HasEdge(u, v) {
+				return nil, fmt.Errorf("core: BLL mark %d at %d is not an edge", v, u)
+			}
+			marked[u].add(v)
+		}
+	}
+	return &BLL{
+		init:   in,
+		orient: in.InitialOrientation(),
+		marked: marked,
+	}, nil
+}
+
+// Name implements automaton.Automaton.
+func (b *BLL) Name() string { return "BLL" }
+
+// Graph implements automaton.Automaton.
+func (b *BLL) Graph() *graph.Graph { return b.init.g }
+
+// Orientation implements automaton.Automaton.
+func (b *BLL) Orientation() *graph.Orientation { return b.orient }
+
+// Destination implements automaton.Automaton.
+func (b *BLL) Destination() graph.NodeID { return b.init.dest }
+
+// Init returns the immutable initial data shared by all variants.
+func (b *BLL) Init() *Init { return b.init }
+
+// Marked returns the neighbours whose edge is currently marked at u.
+func (b *BLL) Marked(u graph.NodeID) []graph.NodeID { return b.marked[u].sorted() }
+
+// Steps implements automaton.Automaton.
+func (b *BLL) Steps() int { return b.steps }
+
+// TotalReversals returns the total number of edge reversals performed.
+func (b *BLL) TotalReversals() int { return b.work }
+
+// Quiescent implements automaton.Automaton.
+func (b *BLL) Quiescent() bool { return len(b.init.enabledSinks(b.orient)) == 0 }
+
+// Enabled implements automaton.Automaton.
+func (b *BLL) Enabled() []automaton.Action {
+	sinks := b.init.enabledSinks(b.orient)
+	acts := make([]automaton.Action, len(sinks))
+	for i, u := range sinks {
+		acts[i] = automaton.ReverseNode{U: u}
+	}
+	return acts
+}
+
+// Step implements automaton.Automaton; only ReverseNode actions are valid.
+func (b *BLL) Step(a automaton.Action) error {
+	act, ok := a.(automaton.ReverseNode)
+	if !ok {
+		return fmt.Errorf("%w: BLL accepts reverse(u), got %T", automaton.ErrInvalidAction, a)
+	}
+	u := act.U
+	if !b.init.g.ValidNode(u) {
+		return fmt.Errorf("%w: node %d out of range", automaton.ErrInvalidAction, u)
+	}
+	if u == b.init.dest {
+		return fmt.Errorf("%w: destination %d cannot step", automaton.ErrInvalidAction, u)
+	}
+	if !b.init.isEnabledSink(b.orient, u) {
+		return fmt.Errorf("%w: node %d is not an enabled sink", automaton.ErrPreconditionFailed, u)
+	}
+	nbrs := b.init.g.Neighbors(u)
+	full := b.marked[u].size() == len(nbrs)
+	for _, v := range nbrs {
+		if !full && b.marked[u].has(v) {
+			continue
+		}
+		if err := b.orient.Reverse(u, v); err != nil {
+			panic(fmt.Sprintf("core: reverse existing edge {%d,%d}: %v", u, v, err))
+		}
+		b.work++
+		b.marked[v].add(u)
+	}
+	b.marked[u].clear()
+	b.steps++
+	return nil
+}
+
+// CloneAutomaton implements automaton.Cloner.
+func (b *BLL) CloneAutomaton() automaton.Automaton { return b.Clone() }
+
+// Clone returns a deep copy sharing the immutable Init.
+func (b *BLL) Clone() *BLL {
+	marked := make([]nodeSet, len(b.marked))
+	for i, s := range b.marked {
+		cp := newNodeSet()
+		for u := range s {
+			cp.add(u)
+		}
+		marked[i] = cp
+	}
+	return &BLL{
+		init:   b.init,
+		orient: b.orient.Clone(),
+		marked: marked,
+		steps:  b.steps,
+		work:   b.work,
+	}
+}

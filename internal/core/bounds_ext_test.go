@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/sched"
+	"linkreversal/internal/workload"
+)
+
+// TestWorkBoundProperty checks the Θ(n_b²) upper-bound side on random
+// instances: total reversals of FR and PR never exceed c·n² for a small
+// constant (the literature's bound is ~n_b·n for FR on a single
+// destination; n² is a safe envelope that a buggy non-terminating
+// implementation would blow through).
+func TestWorkBoundProperty(t *testing.T) {
+	prop := func(rawN uint8, rawP uint8, seed int64) bool {
+		n := 3 + int(rawN)%20
+		p := float64(rawP%80)/100.0 + 0.1
+		topo := workload.RandomConnected(n, p, seed)
+		in, err := topo.Init()
+		if err != nil {
+			return false
+		}
+		for _, mk := range []func() interface {
+			TotalReversals() int
+		}{
+			func() interface{ TotalReversals() int } {
+				a := core.NewFR(in)
+				if _, err := sched.Run(a, sched.NewRandomSingle(seed), sched.Options{}); err != nil {
+					t.Logf("FR run: %v", err)
+					return nil
+				}
+				return a
+			},
+			func() interface{ TotalReversals() int } {
+				a := core.NewOneStepPR(in)
+				if _, err := sched.Run(a, sched.NewRandomSingle(seed), sched.Options{}); err != nil {
+					t.Logf("PR run: %v", err)
+					return nil
+				}
+				return a
+			},
+		} {
+			a := mk()
+			if a == nil {
+				return false
+			}
+			if a.TotalReversals() > 2*n*n {
+				t.Logf("work %d exceeds 2n² = %d", a.TotalReversals(), 2*n*n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNewPRCountBoundProperty: count[u] can never exceed ~2n on instances
+// that quiesce — each real step of u requires the whole neighbourhood to
+// reverse back toward u, and Invariant 4.2(a) caps neighbour count skew at
+// one, so counts are bounded by n plus the dummy slack.
+func TestNewPRCountBoundProperty(t *testing.T) {
+	prop := func(rawN uint8, seed int64) bool {
+		n := 3 + int(rawN)%16
+		topo := workload.RandomConnected(n, 0.3, seed)
+		in, err := topo.Init()
+		if err != nil {
+			return false
+		}
+		a := core.NewNewPR(in)
+		if _, err := sched.Run(a, sched.NewRandomSingle(seed), sched.Options{}); err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if a.Count(graph.NodeID(u)) > 2*n+2 {
+				t.Logf("count[%d] = %d exceeds 2n+2 = %d", u, a.Count(graph.NodeID(u)), 2*n+2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDestinationNeverReverses: across random runs of every variant, the
+// destination's initial edge directions toward it are only ever changed by
+// its neighbours, never by the destination itself (count stays 0 / no
+// action lists D).
+func TestDestinationNeverReverses(t *testing.T) {
+	topo := workload.RandomConnected(12, 0.3, 9)
+	in := topo.MustInit()
+	a := core.NewNewPR(in)
+	res, err := sched.Run(a, sched.NewRandomSingle(5), sched.Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count(in.Destination()) != 0 {
+		t.Errorf("destination count = %d, want 0", a.Count(in.Destination()))
+	}
+	for _, r := range res.Execution.Records {
+		for _, u := range r.Action.Participants() {
+			if u == in.Destination() {
+				t.Fatalf("destination scheduled in %s", r.Action)
+			}
+		}
+	}
+}
+
+// TestWorstCaseExactFormulas pins the closed-form worst-case counts
+// observed in E4: FR on the bad chain does exactly n_b² reversals; PR on
+// the alternating chain does exactly n_b(n_b+1)/2.
+func TestWorstCaseExactFormulas(t *testing.T) {
+	for _, nb := range []int{4, 8, 16, 32} {
+		inBad := workload.BadChain(nb).MustInit()
+		fr := core.NewFR(inBad)
+		if _, err := sched.Run(fr, sched.Greedy{}, sched.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := fr.TotalReversals(), nb*nb; got != want {
+			t.Errorf("FR bad-chain n_b=%d: %d reversals, want %d", nb, got, want)
+		}
+		inAlt := workload.AlternatingChain(nb).MustInit()
+		pr := core.NewPRAutomaton(inAlt)
+		if _, err := sched.Run(pr, sched.Greedy{}, sched.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := pr.TotalReversals(), nb*(nb+1)/2; got != want {
+			t.Errorf("PR alt-chain n_b=%d: %d reversals, want %d", nb, got, want)
+		}
+	}
+}
+
+// TestScheduleInvarianceOfFRWork: FR's total work is independent of the
+// scheduler (a classical property: each node's number of reversals is
+// fixed by the initial configuration).
+func TestScheduleInvarianceOfFRWork(t *testing.T) {
+	topos := []*workload.Topology{
+		workload.BadChain(10),
+		workload.Grid(3, 4),
+		workload.RandomConnected(14, 0.3, 2),
+	}
+	for _, topo := range topos {
+		t.Run(topo.Name, func(t *testing.T) {
+			in := topo.MustInit()
+			var works []int
+			for _, s := range []sched.Scheduler{
+				sched.Greedy{}, sched.NewRandomSingle(1), sched.NewRandomSingle(99),
+				sched.NewRoundRobin(), sched.LIFO{},
+			} {
+				a := core.NewFR(in)
+				if _, err := sched.Run(a, s, sched.Options{}); err != nil {
+					t.Fatal(err)
+				}
+				works = append(works, a.TotalReversals())
+			}
+			for i := 1; i < len(works); i++ {
+				if works[i] != works[0] {
+					t.Errorf("FR work differs by scheduler: %v", works)
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestPRWorkScheduleInvariance: PR's total work is likewise
+// schedule-invariant (Charron-Bost et al. treat the algorithms as fixed
+// strategies whose cost depends only on the initial state).
+func TestPRWorkScheduleInvariance(t *testing.T) {
+	topos := []*workload.Topology{
+		workload.AlternatingChain(9),
+		workload.Grid(3, 4),
+		workload.RandomConnected(14, 0.3, 2),
+	}
+	for _, topo := range topos {
+		t.Run(topo.Name, func(t *testing.T) {
+			in := topo.MustInit()
+			var works []int
+			for _, s := range []sched.Scheduler{
+				sched.Greedy{}, sched.NewRandomSingle(1), sched.NewRandomSubset(5),
+				sched.NewRoundRobin(), sched.LIFO{},
+			} {
+				a := core.NewPRAutomaton(in)
+				if _, err := sched.Run(a, s, sched.Options{}); err != nil {
+					t.Fatal(err)
+				}
+				works = append(works, a.TotalReversals())
+			}
+			for i := 1; i < len(works); i++ {
+				if works[i] != works[0] {
+					t.Errorf("PR work differs by scheduler: %v", works)
+					break
+				}
+			}
+		})
+	}
+}

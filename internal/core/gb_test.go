@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"testing"
+
+	"linkreversal/internal/automaton"
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/sched"
+	"linkreversal/internal/workload"
+)
+
+// TestGBFullMatchesFR cross-validates the height-based Full Reversal
+// against the direct FR implementation under identical sequential
+// schedules: orientations must match after every step and total work must
+// coincide.
+func TestGBFullMatchesFR(t *testing.T) {
+	for _, topo := range topologies() {
+		t.Run(topo.Name, func(t *testing.T) {
+			in := topo.MustInit()
+			gb := core.NewGBFull(in)
+			fr := core.NewFR(in)
+			for i := 0; i < 100000; i++ {
+				if fr.Quiescent() {
+					if !gb.Quiescent() {
+						t.Fatal("FR quiescent but GBFull not")
+					}
+					break
+				}
+				// Drive both with the lowest enabled sink.
+				u := fr.Enabled()[0].Participants()[0]
+				if err := fr.Step(automaton.ReverseNode{U: u}); err != nil {
+					t.Fatal(err)
+				}
+				if err := gb.Step(automaton.ReverseNode{U: u}); err != nil {
+					t.Fatal(err)
+				}
+				if !fr.Orientation().Equal(gb.Orientation()) {
+					t.Fatalf("orientations diverged at step %d (node %d)", i, u)
+				}
+			}
+			if gb.TotalReversals() != fr.TotalReversals() {
+				t.Errorf("work differs: GBFull %d, FR %d", gb.TotalReversals(), fr.TotalReversals())
+			}
+		})
+	}
+}
+
+// TestGBFullInitialHeightsInduceInitialOrientation checks the embedding-
+// based initial height assignment.
+func TestGBFullInitialHeightsInduceInitialOrientation(t *testing.T) {
+	topo := workload.AlternatingChain(7)
+	in := topo.MustInit()
+	gb := core.NewGBFull(in)
+	o := gb.Orientation()
+	for _, e := range in.Graph().Edges() {
+		hu, hv := gb.Height(e.U), gb.Height(e.V)
+		if o.PointsTo(e.U, e.V) != hv.Less(hu) {
+			t.Errorf("edge {%d,%d}: orientation inconsistent with heights %v,%v",
+				e.U, e.V, hu, hv)
+		}
+	}
+}
+
+// TestGBFullHeightsStayTotalOrder: heights are unique at all times, so the
+// derived orientation can never contain a cycle.
+func TestGBFullHeightsStayTotalOrder(t *testing.T) {
+	topo := workload.RandomConnected(15, 0.3, 8)
+	in := topo.MustInit()
+	gb := core.NewGBFull(in)
+	res, err := sched.Run(gb, sched.NewRandomSingle(2), sched.Options{
+		Invariants: core.BasicInvariants(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quiesced {
+		t.Fatal("did not quiesce")
+	}
+	seen := make(map[core.FullHeight]bool)
+	for u := 0; u < in.Graph().NumNodes(); u++ {
+		h := gb.Height(graph.NodeID(u))
+		if seen[h] {
+			t.Errorf("duplicate height %v", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestGBFullRejectsBadActions(t *testing.T) {
+	in := workload.BadChain(4).MustInit()
+	gb := core.NewGBFull(in)
+	if err := gb.Step(automaton.NewReverseSet([]graph.NodeID{4})); err == nil {
+		t.Error("set action accepted by single-step automaton")
+	}
+	if err := gb.Step(automaton.ReverseNode{U: 0}); err == nil {
+		t.Error("destination step accepted")
+	}
+	if err := gb.Step(automaton.ReverseNode{U: 2}); err == nil {
+		t.Error("non-sink step accepted")
+	}
+	if err := gb.Step(automaton.ReverseNode{U: 77}); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+// TestGBFullClone verifies deep-copy isolation.
+func TestGBFullClone(t *testing.T) {
+	in := workload.BadChain(4).MustInit()
+	gb := core.NewGBFull(in)
+	clone := gb.Clone()
+	if err := clone.Step(clone.Enabled()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if gb.Steps() != 0 {
+		t.Error("clone step mutated original")
+	}
+	if gb.Height(4) == clone.Height(4) {
+		t.Error("clone shares height storage")
+	}
+}

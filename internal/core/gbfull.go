@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"linkreversal/internal/automaton"
+	"linkreversal/internal/graph"
+)
+
+// FullHeight is the (a, id) pair assigned to each node by the height-based
+// formulation of Full Reversal (Gafni & Bertsekas 1981). Pairs are compared
+// lexicographically; every edge points from the higher to the lower
+// endpoint.
+type FullHeight struct {
+	A  int
+	ID graph.NodeID
+}
+
+// Less reports whether h is lexicographically smaller than other.
+func (h FullHeight) Less(other FullHeight) bool {
+	if h.A != other.A {
+		return h.A < other.A
+	}
+	return h.ID < other.ID
+}
+
+// String implements fmt.Stringer.
+func (h FullHeight) String() string { return fmt.Sprintf("(%d,%d)", h.A, h.ID) }
+
+// GBFull is the height-based Full Reversal automaton: when a sink u takes a
+// step it sets
+//
+//	a[u] := 1 + max{ a[v] : v ∈ nbrs(u) }
+//
+// making u larger than all its neighbours, i.e. reversing every incident
+// edge. It is the pair-label counterpart of FR, used to cross-validate the
+// direct FR implementation the same way GBPair cross-validates PR.
+//
+// Initial heights (0, −pos(u)) cannot express an arbitrary initial DAG with
+// a single integer per node, so GBFull assigns a[u] = pos-rank from the
+// embedding: a[u] = n − 1 − pos(u), which orients every initial edge
+// identically to G'_init.
+type GBFull struct {
+	init    *Init
+	orient  *graph.Orientation
+	heights []FullHeight
+	steps   int
+	work    int
+}
+
+var (
+	_ automaton.Automaton = (*GBFull)(nil)
+	_ automaton.Cloner    = (*GBFull)(nil)
+)
+
+// NewGBFull creates a GBFull automaton with heights inducing G'_init.
+func NewGBFull(in *Init) *GBFull {
+	n := in.g.NumNodes()
+	hs := make([]FullHeight, n)
+	for u := 0; u < n; u++ {
+		id := graph.NodeID(u)
+		hs[u] = FullHeight{A: n - 1 - in.emb.Pos(id), ID: id}
+	}
+	return &GBFull{
+		init:    in,
+		orient:  in.InitialOrientation(),
+		heights: hs,
+	}
+}
+
+// Name implements automaton.Automaton.
+func (g *GBFull) Name() string { return "GBFull" }
+
+// Graph implements automaton.Automaton.
+func (g *GBFull) Graph() *graph.Graph { return g.init.g }
+
+// Orientation implements automaton.Automaton.
+func (g *GBFull) Orientation() *graph.Orientation { return g.orient }
+
+// Destination implements automaton.Automaton.
+func (g *GBFull) Destination() graph.NodeID { return g.init.dest }
+
+// Init returns the immutable initial data shared by all variants.
+func (g *GBFull) Init() *Init { return g.init }
+
+// Height returns the current height pair of u.
+func (g *GBFull) Height(u graph.NodeID) FullHeight { return g.heights[u] }
+
+// Steps implements automaton.Automaton.
+func (g *GBFull) Steps() int { return g.steps }
+
+// TotalReversals returns the total number of edge reversals performed.
+func (g *GBFull) TotalReversals() int { return g.work }
+
+// Quiescent implements automaton.Automaton.
+func (g *GBFull) Quiescent() bool { return len(g.init.enabledSinks(g.orient)) == 0 }
+
+// Enabled implements automaton.Automaton.
+func (g *GBFull) Enabled() []automaton.Action {
+	sinks := g.init.enabledSinks(g.orient)
+	acts := make([]automaton.Action, len(sinks))
+	for i, u := range sinks {
+		acts[i] = automaton.ReverseNode{U: u}
+	}
+	return acts
+}
+
+// Step implements automaton.Automaton; only ReverseNode actions are valid.
+func (g *GBFull) Step(a automaton.Action) error {
+	act, ok := a.(automaton.ReverseNode)
+	if !ok {
+		return fmt.Errorf("%w: GBFull accepts reverse(u), got %T", automaton.ErrInvalidAction, a)
+	}
+	u := act.U
+	if !g.init.g.ValidNode(u) {
+		return fmt.Errorf("%w: node %d out of range", automaton.ErrInvalidAction, u)
+	}
+	if u == g.init.dest {
+		return fmt.Errorf("%w: destination %d cannot step", automaton.ErrInvalidAction, u)
+	}
+	if !g.init.isEnabledSink(g.orient, u) {
+		return fmt.Errorf("%w: node %d is not an enabled sink", automaton.ErrPreconditionFailed, u)
+	}
+	nbrs := g.init.g.Neighbors(u)
+	maxA := g.heights[nbrs[0]].A
+	for _, v := range nbrs[1:] {
+		if g.heights[v].A > maxA {
+			maxA = g.heights[v].A
+		}
+	}
+	g.heights[u] = FullHeight{A: maxA + 1, ID: u}
+	for _, v := range nbrs {
+		// u is now the largest in its neighbourhood: every edge reverses.
+		if !g.orient.PointsTo(u, v) {
+			if err := g.orient.Reverse(u, v); err != nil {
+				panic(fmt.Sprintf("core: reverse existing edge {%d,%d}: %v", u, v, err))
+			}
+			g.work++
+		}
+	}
+	g.steps++
+	return nil
+}
+
+// CloneAutomaton implements automaton.Cloner.
+func (g *GBFull) CloneAutomaton() automaton.Automaton { return g.Clone() }
+
+// Clone returns a deep copy sharing the immutable Init.
+func (g *GBFull) Clone() *GBFull {
+	hs := make([]FullHeight, len(g.heights))
+	copy(hs, g.heights)
+	return &GBFull{
+		init:    g.init,
+		orient:  g.orient.Clone(),
+		heights: hs,
+		steps:   g.steps,
+		work:    g.work,
+	}
+}

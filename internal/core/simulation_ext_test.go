@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/workload"
+)
+
+// runDriver drives a SimulationDriver to PR quiescence using a seeded
+// random-subset schedule, checking both relations at every correspondence
+// point. Returns the driver for post-run assertions.
+func runDriver(t *testing.T, in *core.Init, seed int64) *core.SimulationDriver {
+	t.Helper()
+	d := core.NewSimulationDriver(in)
+	rng := rand.New(rand.NewSource(seed))
+	n := in.Graph().NumNodes()
+	maxSteps := 100*n*n + 100
+	for step := 0; step < maxSteps; step++ {
+		if d.Quiescent() {
+			return d
+		}
+		// Random non-empty subset of the enabled sinks of PR.
+		var sinks []graph.NodeID
+		for _, act := range d.PR().Enabled() {
+			sinks = append(sinks, act.Participants()...)
+		}
+		var pick []graph.NodeID
+		for _, u := range sinks {
+			if rng.Intn(2) == 0 {
+				pick = append(pick, u)
+			}
+		}
+		if len(pick) == 0 {
+			pick = []graph.NodeID{sinks[rng.Intn(len(sinks))]}
+		}
+		if err := d.Step(pick); err != nil {
+			t.Fatalf("simulation step %d: %v", step, err)
+		}
+	}
+	t.Fatal("simulation did not quiesce within step budget")
+	return nil
+}
+
+// TestSimulationRelationsHold is the executable counterpart of Theorems 5.2
+// and 5.4: along any PR execution, the constructed OneStepPR and NewPR
+// executions stay related by R′ and R respectively — in particular all
+// three maintain identical orientations at correspondence points.
+func TestSimulationRelationsHold(t *testing.T) {
+	for _, topo := range topologies() {
+		t.Run(topo.Name, func(t *testing.T) {
+			in := topo.MustInit()
+			for seed := int64(0); seed < 5; seed++ {
+				d := runDriver(t, in, seed)
+				// Final states: all orientations equal (Theorem 5.5 chain).
+				if !d.PR().Orientation().Equal(d.OneStepPR().Orientation()) {
+					t.Error("final PR and OneStepPR orientations differ")
+				}
+				if !d.OneStepPR().Orientation().Equal(d.NewPR().Orientation()) {
+					t.Error("final OneStepPR and NewPR orientations differ")
+				}
+				if !graph.IsAcyclic(d.PR().Orientation()) {
+					t.Error("final PR orientation cyclic")
+				}
+				// NewPR takes extra dummy steps, never fewer total steps.
+				if d.NewPR().Steps() < d.OneStepPR().Steps() {
+					t.Errorf("NewPR steps %d < OneStepPR steps %d",
+						d.NewPR().Steps(), d.OneStepPR().Steps())
+				}
+				if d.NewPR().Steps()-d.NewPR().DummySteps() != d.OneStepPR().Steps() {
+					t.Errorf("NewPR real steps %d != OneStepPR steps %d",
+						d.NewPR().Steps()-d.NewPR().DummySteps(), d.OneStepPR().Steps())
+				}
+				// The real work (edge reversals) is identical by Lemma 5.3.
+				if d.NewPR().TotalReversals() != d.OneStepPR().TotalReversals() {
+					t.Errorf("NewPR work %d != OneStepPR work %d",
+						d.NewPR().TotalReversals(), d.OneStepPR().TotalReversals())
+				}
+			}
+		})
+	}
+}
+
+// TestSimulationRelationProperty is the property-based version over random
+// connected graphs: quick generates (size, density, seed) and the relations
+// must hold on every execution.
+func TestSimulationRelationProperty(t *testing.T) {
+	prop := func(rawN uint8, rawP uint8, seed int64) bool {
+		n := 3 + int(rawN)%14
+		p := float64(rawP%90)/100.0 + 0.05
+		topo := workload.RandomConnected(n, p, seed)
+		in, err := topo.Init()
+		if err != nil {
+			return false
+		}
+		d := core.NewSimulationDriver(in)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for step := 0; step < 100*n*n+100; step++ {
+			if d.Quiescent() {
+				return d.PR().Orientation().Equal(d.NewPR().Orientation())
+			}
+			var sinks []graph.NodeID
+			for _, act := range d.PR().Enabled() {
+				sinks = append(sinks, act.Participants()...)
+			}
+			pick := []graph.NodeID{sinks[rng.Intn(len(sinks))]}
+			for _, u := range sinks {
+				if u != pick[0] && rng.Intn(2) == 0 {
+					pick = append(pick, u)
+				}
+			}
+			if err := d.Step(pick); err != nil {
+				t.Logf("relation violated: %v", err)
+				return false
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRelationCheckersDetectViolations sanity-checks that the relation
+// checkers are not vacuous: deliberately desynchronized automata must be
+// flagged.
+func TestRelationCheckersDetectViolations(t *testing.T) {
+	topo := workload.BadChain(4)
+	in := topo.MustInit()
+	pr := core.NewPRAutomaton(in)
+	one := core.NewOneStepPR(in)
+	// Step only PR: orientations now differ → clause 1 of R′ must fail.
+	if err := pr.Step(pr.Enabled()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CheckRelationRPrime(pr, one); err == nil {
+		t.Error("R' checker missed an orientation mismatch")
+	}
+	np := core.NewNewPR(in)
+	if err := one.Step(one.Enabled()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.CheckRelationR(one, np); err == nil {
+		t.Error("R checker missed an orientation mismatch")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"linkreversal/internal/graph"
+)
+
+// StateKeyer is implemented by automata whose full state can be serialized
+// to a canonical string, enabling exhaustive reachable-state enumeration by
+// the model checker (internal/mc).
+type StateKeyer interface {
+	// StateKey returns a canonical encoding of the automaton's state.
+	// Two automata of the same variant are in the same state iff their
+	// keys are equal.
+	StateKey() string
+}
+
+// orientKey encodes the orientation as one bit per edge in edge-index
+// order.
+func orientKey(b *strings.Builder, o *graph.Orientation) {
+	for _, d := range o.DirectedEdges() {
+		e := graph.NormalizedEdge(d[0], d[1])
+		if d[0] == e.U {
+			b.WriteByte('>')
+		} else {
+			b.WriteByte('<')
+		}
+	}
+}
+
+// listsKey encodes per-node node-sets in node order.
+func listsKey(b *strings.Builder, n int, get func(graph.NodeID) []graph.NodeID) {
+	for u := 0; u < n; u++ {
+		b.WriteByte('|')
+		for _, v := range get(graph.NodeID(u)) {
+			b.WriteString(strconv.Itoa(int(v)))
+			b.WriteByte(',')
+		}
+	}
+}
+
+// StateKey implements StateKeyer: orientation plus all lists.
+func (p *PR) StateKey() string {
+	var b strings.Builder
+	orientKey(&b, p.orient)
+	listsKey(&b, p.init.g.NumNodes(), p.List)
+	return b.String()
+}
+
+// StateKey implements StateKeyer: orientation plus all lists.
+func (p *OneStepPR) StateKey() string {
+	var b strings.Builder
+	orientKey(&b, p.orient)
+	listsKey(&b, p.init.g.NumNodes(), p.List)
+	return b.String()
+}
+
+// StateKey implements StateKeyer: orientation plus all step counts. Counts
+// are part of the paper's (history-augmented) state; executions terminate,
+// so the reachable space stays finite.
+func (p *NewPR) StateKey() string {
+	var b strings.Builder
+	orientKey(&b, p.orient)
+	for _, c := range p.count {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// StateKey implements StateKeyer: FR's state is the orientation alone.
+func (f *FR) StateKey() string {
+	var b strings.Builder
+	orientKey(&b, f.orient)
+	return b.String()
+}
+
+// StateKey implements StateKeyer: orientation plus height triples.
+func (g *GBPair) StateKey() string {
+	var b strings.Builder
+	orientKey(&b, g.orient)
+	for _, h := range g.heights {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(h.A))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(h.B))
+	}
+	return b.String()
+}
+
+// StateKey implements StateKeyer: orientation plus height pairs.
+func (g *GBFull) StateKey() string {
+	var b strings.Builder
+	orientKey(&b, g.orient)
+	for _, h := range g.heights {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(h.A))
+	}
+	return b.String()
+}
+
+// StateKey implements StateKeyer: orientation plus all mark sets.
+func (b2 *BLL) StateKey() string {
+	var b strings.Builder
+	orientKey(&b, b2.orient)
+	listsKey(&b, b2.init.g.NumNodes(), b2.Marked)
+	return b.String()
+}
+
+// Compile-time checks that every variant supports exhaustive enumeration.
+var (
+	_ StateKeyer = (*PR)(nil)
+	_ StateKeyer = (*OneStepPR)(nil)
+	_ StateKeyer = (*NewPR)(nil)
+	_ StateKeyer = (*FR)(nil)
+	_ StateKeyer = (*GBPair)(nil)
+	_ StateKeyer = (*GBFull)(nil)
+	_ StateKeyer = (*BLL)(nil)
+)

@@ -1,0 +1,208 @@
+package election_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"linkreversal/internal/election"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/workload"
+)
+
+func newService(t *testing.T, topo *workload.Topology) *election.Service {
+	t.Helper()
+	s, err := election.NewService(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInitialLeaderIsLowestID(t *testing.T) {
+	s := newService(t, workload.Ring(8, 1))
+	for u := 0; u < 8; u++ {
+		leader, err := s.Leader(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leader != 0 {
+			t.Errorf("leader of %d = %d, want 0", u, leader)
+		}
+	}
+}
+
+func TestEveryNodeHasPathToLeader(t *testing.T) {
+	s := newService(t, workload.RandomConnected(12, 0.25, 3))
+	for u := 0; u < 12; u++ {
+		path, err := s.PathToLeader(graph.NodeID(u))
+		if err != nil {
+			t.Fatalf("path from %d: %v", u, err)
+		}
+		if path[len(path)-1] != 0 {
+			t.Errorf("path from %d ends at %d", u, path[len(path)-1])
+		}
+	}
+	if !s.Acyclic() {
+		t.Error("cycle in election DAG")
+	}
+}
+
+func TestLeaderFailureTriggersReelection(t *testing.T) {
+	s := newService(t, workload.Ring(6, 2))
+	if err := s.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u < 6; u++ {
+		leader, err := s.Leader(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leader != 1 {
+			t.Errorf("leader of %d = %d, want 1 (lowest live)", u, leader)
+		}
+		if _, err := s.PathToLeader(graph.NodeID(u)); err != nil {
+			t.Errorf("path from %d: %v", u, err)
+		}
+	}
+	// Queries about the failed node are rejected.
+	if _, err := s.Leader(0); !errors.Is(err, election.ErrNodeDown) {
+		t.Errorf("Leader(0) error = %v, want ErrNodeDown", err)
+	}
+}
+
+func TestPartitionElectsPerComponentLeaders(t *testing.T) {
+	// Chain 0-1-2-3-4: failing node 2 splits {0,1} and {3,4}.
+	s := newService(t, workload.GoodChain(5))
+	if err := s.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		node   graph.NodeID
+		leader graph.NodeID
+	}{
+		{node: 0, leader: 0}, {node: 1, leader: 0},
+		{node: 3, leader: 3}, {node: 4, leader: 3},
+	}
+	for _, c := range checks {
+		got, err := s.Leader(c.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.leader {
+			t.Errorf("leader of %d = %d, want %d", c.node, got, c.leader)
+		}
+	}
+}
+
+func TestRecoveryMergesComponents(t *testing.T) {
+	s := newService(t, workload.GoodChain(5))
+	if err := s.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Recover(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		leader, err := s.Leader(graph.NodeID(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leader != 0 {
+			t.Errorf("after merge, leader of %d = %d, want 0", u, leader)
+		}
+	}
+	alive, err := s.Alive(2)
+	if err != nil || !alive {
+		t.Errorf("Alive(2) = %v,%v", alive, err)
+	}
+}
+
+func TestFailRecoverValidation(t *testing.T) {
+	s := newService(t, workload.GoodChain(3))
+	if err := s.Fail(9); !errors.Is(err, election.ErrUnknownNode) {
+		t.Errorf("Fail(9) = %v", err)
+	}
+	if err := s.Recover(1); !errors.Is(err, election.ErrNodeUp) {
+		t.Errorf("Recover(up) = %v", err)
+	}
+	if err := s.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Fail(1); !errors.Is(err, election.ErrNodeDown) {
+		t.Errorf("double Fail = %v", err)
+	}
+	if _, err := s.Alive(9); !errors.Is(err, election.ErrUnknownNode) {
+		t.Errorf("Alive(9) = %v", err)
+	}
+	if _, err := s.PathToLeader(9); !errors.Is(err, election.ErrUnknownNode) {
+		t.Errorf("PathToLeader(9) = %v", err)
+	}
+}
+
+// TestElectionChurn runs random fail/recover sequences; after every
+// stabilization each component must agree on its lowest live ID and have
+// loop-free paths to it.
+func TestElectionChurn(t *testing.T) {
+	topo := workload.RandomConnected(14, 0.3, 5)
+	s := newService(t, topo)
+	rng := rand.New(rand.NewSource(11))
+	down := make(map[graph.NodeID]bool)
+	for event := 0; event < 120; event++ {
+		u := graph.NodeID(rng.Intn(14))
+		if down[u] {
+			if err := s.Recover(u); err != nil {
+				t.Fatalf("event %d recover %d: %v", event, u, err)
+			}
+			delete(down, u)
+		} else if len(down) < 12 {
+			if err := s.Fail(u); err != nil {
+				t.Fatalf("event %d fail %d: %v", event, u, err)
+			}
+			down[u] = true
+		} else {
+			continue
+		}
+		if err := s.Stabilize(); err != nil {
+			t.Fatalf("event %d stabilize: %v", event, err)
+		}
+		if !s.Acyclic() {
+			t.Fatalf("event %d: cycle", event)
+		}
+		for v := 0; v < 14; v++ {
+			id := graph.NodeID(v)
+			if down[id] {
+				continue
+			}
+			leader, err := s.Leader(id)
+			if err != nil {
+				t.Fatalf("event %d leader(%d): %v", event, v, err)
+			}
+			path, err := s.PathToLeader(id)
+			if err != nil {
+				t.Fatalf("event %d path(%d): %v", event, v, err)
+			}
+			if path[len(path)-1] != leader {
+				t.Fatalf("event %d: path from %d ends at %d, leader %d",
+					event, v, path[len(path)-1], leader)
+			}
+			// The leader must be the smallest node on any path through the
+			// component; in particular leader ≤ v.
+			if leader > id {
+				t.Fatalf("event %d: leader %d > member %d", event, leader, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"linkreversal/internal/graph"
+	"linkreversal/internal/routing"
+	"linkreversal/internal/workload"
+)
+
+// churnRouter wraps the routing.Router for the E10 experiment: it applies a
+// reproducible remove/re-add event stream and accounts total repair cost.
+type churnRouter struct {
+	r     *routing.Router
+	edges []graph.Edge
+}
+
+func newChurnRouter(topo *workload.Topology) (*churnRouter, error) {
+	r, err := routing.NewRouter(topo)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Stabilize(); err != nil {
+		return nil, err
+	}
+	return &churnRouter{r: r, edges: topo.Graph.Edges()}, nil
+}
+
+// churn applies `events` alternating link removals and re-additions chosen
+// by a seeded RNG, stabilizing after each, and returns the total number of
+// reversal steps spent on repair.
+func (c *churnRouter) churn(events int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	removed := make(map[graph.Edge]bool)
+	before := c.r.Reversals()
+	for i := 0; i < events; i++ {
+		e := c.edges[rng.Intn(len(c.edges))]
+		if removed[e] {
+			if err := c.r.AddLink(e.U, e.V); err != nil {
+				return 0, err
+			}
+			delete(removed, e)
+		} else {
+			if err := c.r.RemoveLink(e.U, e.V); err != nil {
+				return 0, err
+			}
+			removed[e] = true
+		}
+		if _, err := c.r.Stabilize(); err != nil {
+			return 0, err
+		}
+	}
+	return c.r.Reversals() - before, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"linkreversal/internal/core"
+	"linkreversal/internal/sched"
+	"linkreversal/internal/trace"
+	"linkreversal/internal/workload"
+)
+
+// E9Rounds measures parallel time-to-convergence: the number of greedy
+// rounds (every enabled sink steps simultaneously) until quiescence. The
+// link-reversal literature (Busch et al.) shows worst-case time is also
+// Θ(n_b²) for a single chain but O(n_b) parallel rounds on FR's bad chain:
+// this experiment reports the measured round counts so the work/time
+// distinction is visible alongside E4.
+func E9Rounds(s Suite) (*trace.Table, error) {
+	tb := trace.NewTable("E9 (extension): greedy rounds to convergence",
+		"nb", "FR@bad-chain", "PR@bad-chain", "FR@alt-chain", "PR@alt-chain")
+	var xs, frBad, prBad, frAlt, prAlt []float64
+	rounds := func(topo *workload.Topology, full bool) (int, error) {
+		in, err := topo.Init()
+		if err != nil {
+			return 0, err
+		}
+		var res *sched.Result
+		if full {
+			res, err = sched.Run(core.NewFR(in), sched.Greedy{}, sched.Options{})
+		} else {
+			res, err = sched.Run(core.NewPRAutomaton(in), sched.Greedy{}, sched.Options{})
+		}
+		if err != nil {
+			return 0, fmt.Errorf("E9 %s: %w", topo.Name, err)
+		}
+		return res.Steps, nil
+	}
+	for _, nb := range s.WorstCaseNB {
+		fb, err := rounds(workload.BadChain(nb), true)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := rounds(workload.BadChain(nb), false)
+		if err != nil {
+			return nil, err
+		}
+		fa, err := rounds(workload.AlternatingChain(nb), true)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := rounds(workload.AlternatingChain(nb), false)
+		if err != nil {
+			return nil, err
+		}
+		tb.MustAddRow(trace.I(nb), trace.I(fb), trace.I(pb), trace.I(fa), trace.I(pa))
+		xs = append(xs, float64(nb))
+		frBad = append(frBad, float64(fb))
+		prBad = append(prBad, float64(pb))
+		frAlt = append(frAlt, float64(fa))
+		prAlt = append(prAlt, float64(pa))
+	}
+	fit := func(ys []float64) trace.Cell {
+		k, ok := trace.FitExponent(xs, ys)
+		if !ok {
+			return trace.S("n/a")
+		}
+		return trace.F(k)
+	}
+	tb.MustAddRow(trace.S("fit k"), fit(frBad), fit(prBad), fit(frAlt), fit(prAlt))
+	return tb, nil
+}
+
+// E10Churn measures route-repair cost under continuous topology churn in
+// the dynamic-topology router: reversals per failure event as network size
+// grows. Repair cost should stay far below re-running the algorithm from
+// scratch (locality of link reversal — the operational argument for TORA).
+func E10Churn(s Suite) (*trace.Table, error) {
+	tb := trace.NewTable("E10 (extension): router repair cost under link churn",
+		"n", "events", "total-reversals", "reversals/event", "from-scratch-reversals")
+	for _, n := range s.Sizes {
+		topo := workload.RandomConnected(n, 0.2, int64(n))
+		r, err := newChurnRouter(topo)
+		if err != nil {
+			return nil, err
+		}
+		events := 4 * n
+		total, err := r.churn(events, int64(n)+1)
+		if err != nil {
+			return nil, fmt.Errorf("E10 n=%d: %w", n, err)
+		}
+		// Baseline: cost of orienting the same topology from scratch.
+		in, err := topo.Init()
+		if err != nil {
+			return nil, err
+		}
+		scratch, err := sched.Run(core.NewGBPair(in), sched.Greedy{}, sched.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tb.MustAddRow(trace.I(n), trace.I(events), trace.I(total),
+			trace.F(float64(total)/float64(events)), trace.I(scratch.TotalReversals))
+	}
+	return tb, nil
+}

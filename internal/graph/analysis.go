@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IsAcyclic reports whether the orientation contains no directed cycle.
+// It runs Kahn's algorithm in O(V + E).
+func IsAcyclic(o *Orientation) bool {
+	_, ok := TopologicalOrder(o)
+	return ok
+}
+
+// TopologicalOrder returns a topological order of the directed graph, i.e.
+// every edge points from an earlier to a later node in the returned slice.
+// The second result is false if the orientation contains a cycle.
+func TopologicalOrder(o *Orientation) ([]NodeID, bool) {
+	n := o.g.NumNodes()
+	outdeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		outdeg[u] = o.OutDegree(NodeID(u))
+	}
+	// Process nodes sink-first, then reverse: a node is ready once all its
+	// out-edges lead to already-processed nodes.
+	queue := make([]NodeID, 0, n)
+	for u := 0; u < n; u++ {
+		if outdeg[u] == 0 {
+			queue = append(queue, NodeID(u))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, u)
+		for _, v := range o.InNeighbors(u) {
+			outdeg[v]--
+			if outdeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	// order currently lists sinks first; reverse it so edges go left→right.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order, true
+}
+
+// FindCycle returns one directed cycle as a node sequence (first node
+// repeated at the end), or nil if the orientation is acyclic. Useful for
+// diagnostics when an acyclicity invariant is violated.
+func FindCycle(o *Orientation) []NodeID {
+	n := o.g.NumNodes()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	parent := make([]NodeID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []NodeID
+	var dfs func(u NodeID) bool
+	dfs = func(u NodeID) bool {
+		color[u] = gray
+		for _, v := range o.OutNeighbors(u) {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back edge u→v: reconstruct the cycle v..u,v.
+				// Walking parents from u yields u..child(v) in reverse, so
+				// keep v first and reverse the tail to forward order.
+				cycle = append(cycle, v)
+				for w := u; w != v; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				cycle = append(cycle, v)
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white && dfs(NodeID(u)) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// CanReach reports whether there is a directed path from u to target.
+func CanReach(o *Orientation, u, target NodeID) bool {
+	if u == target {
+		return true
+	}
+	n := o.g.NumNodes()
+	visited := make([]bool, n)
+	stack := []NodeID{u}
+	visited[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range o.OutNeighbors(x) {
+			if v == target {
+				return true
+			}
+			if !visited[v] {
+				visited[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// NodesReaching returns the set of nodes that have a directed path to
+// target (including target itself), computed by a reverse BFS in O(V+E).
+func NodesReaching(o *Orientation, target NodeID) map[NodeID]bool {
+	reach := make(map[NodeID]bool, o.g.NumNodes())
+	if !o.g.ValidNode(target) {
+		return reach
+	}
+	reach[target] = true
+	queue := []NodeID{target}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range o.InNeighbors(u) {
+			if !reach[v] {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reach
+}
+
+// IsDestinationOriented reports whether every node has a directed path to
+// dest. This is the goal condition of all link-reversal algorithms.
+func IsDestinationOriented(o *Orientation, dest NodeID) bool {
+	reach := NodesReaching(o, dest)
+	return len(reach) == o.g.NumNodes()
+}
+
+// BadNodes returns the nodes with no directed path to dest, in ascending
+// order. |BadNodes| is the n_b parameter of the Θ(n_b²) worst-case bound.
+func BadNodes(o *Orientation, dest NodeID) []NodeID {
+	reach := NodesReaching(o, dest)
+	var bad []NodeID
+	for u := 0; u < o.g.NumNodes(); u++ {
+		if !reach[NodeID(u)] {
+			bad = append(bad, NodeID(u))
+		}
+	}
+	return bad
+}
+
+// Embedding assigns each node its position in a fixed left-to-right planar
+// embedding of the initial DAG, as used by Invariant 4.1: all initial edges
+// point from smaller to larger position. Position is a topological index of
+// the initial orientation.
+type Embedding struct {
+	pos []int
+}
+
+// NewEmbedding computes a left-to-right embedding of the given orientation.
+// It returns an error if the orientation is cyclic (no embedding exists).
+func NewEmbedding(o *Orientation) (*Embedding, error) {
+	order, ok := TopologicalOrder(o)
+	if !ok {
+		return nil, fmt.Errorf("graph: cannot embed cyclic orientation")
+	}
+	pos := make([]int, o.g.NumNodes())
+	for i, u := range order {
+		pos[u] = i
+	}
+	return &Embedding{pos: pos}, nil
+}
+
+// Pos returns the left-to-right position of u.
+func (e *Embedding) Pos(u NodeID) int { return e.pos[u] }
+
+// LeftOf reports whether u is strictly left of v in the embedding.
+func (e *Embedding) LeftOf(u, v NodeID) bool { return e.pos[u] < e.pos[v] }
+
+// DOT renders the orientation in Graphviz DOT format. Nodes in highlight are
+// drawn with a distinct shape (e.g. the destination).
+func DOT(o *Orientation, name string, highlight ...NodeID) string {
+	hl := make(map[NodeID]struct{}, len(highlight))
+	for _, u := range highlight {
+		hl[u] = struct{}{}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n")
+	ids := make([]int, 0, len(hl))
+	for u := range hl {
+		ids = append(ids, int(u))
+	}
+	sort.Ints(ids)
+	for _, u := range ids {
+		fmt.Fprintf(&b, "  %d [shape=doublecircle];\n", u)
+	}
+	for _, d := range o.DirectedEdges() {
+		fmt.Fprintf(&b, "  %d -> %d;\n", d[0], d[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

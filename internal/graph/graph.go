@@ -1,0 +1,210 @@
+// Package graph provides the static undirected communication graph G and the
+// mutable directed orientation G' used by all link-reversal algorithms.
+//
+// The model follows Section 2 of Radeva & Lynch: G = (V, E) is a fixed
+// undirected graph with a single destination node D. A directed version G'
+// assigns exactly one direction to every edge of G. The sets nbrs(u),
+// in-nbrs(u) and out-nbrs(u) are defined once, against the *initial*
+// orientation, and never change afterwards.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense: a graph with n nodes uses IDs
+// 0..n-1. The destination is an ordinary NodeID distinguished only by the
+// algorithms, not by the graph itself.
+type NodeID int
+
+// Edge is an undirected edge between two distinct nodes. Edges are stored in
+// normalized form (U < V) so that {u,v} and {v,u} are the same edge.
+type Edge struct {
+	U, V NodeID
+}
+
+// NormalizedEdge returns e with endpoints ordered so that U < V.
+func NormalizedEdge(a, b NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Errors returned by graph construction and mutation.
+var (
+	ErrNodeOutOfRange = errors.New("graph: node out of range")
+	ErrSelfLoop       = errors.New("graph: self-loops are not allowed")
+	ErrDuplicateEdge  = errors.New("graph: duplicate edge")
+	ErrNoSuchEdge     = errors.New("graph: no such edge")
+)
+
+// Graph is the fixed undirected graph G = (V, E). It is immutable after
+// construction via Builder; the zero value is an empty graph with no nodes.
+type Graph struct {
+	n     int
+	edges []Edge
+	// adj[u] lists the neighbours of u in ascending order.
+	adj [][]NodeID
+	// edgeIndex maps a normalized edge to its position in edges.
+	edgeIndex map[Edge]int
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+type Builder struct {
+	n     int
+	edges []Edge
+	seen  map[Edge]struct{}
+	err   error
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{
+		n:    n,
+		seen: make(map[Edge]struct{}),
+	}
+}
+
+// AddEdge records the undirected edge {a, b}. Errors are sticky: after the
+// first failure, subsequent calls are no-ops and Build reports the error.
+func (b *Builder) AddEdge(a, c NodeID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if a < 0 || c < 0 || int(a) >= b.n || int(c) >= b.n {
+		b.err = fmt.Errorf("%w: edge {%d,%d} in graph of %d nodes", ErrNodeOutOfRange, a, c, b.n)
+		return b
+	}
+	if a == c {
+		b.err = fmt.Errorf("%w: node %d", ErrSelfLoop, a)
+		return b
+	}
+	e := NormalizedEdge(a, c)
+	if _, dup := b.seen[e]; dup {
+		b.err = fmt.Errorf("%w: {%d,%d}", ErrDuplicateEdge, e.U, e.V)
+		return b
+	}
+	b.seen[e] = struct{}{}
+	b.edges = append(b.edges, e)
+	return b
+}
+
+// Build finalizes the graph. It returns the first error recorded by AddEdge,
+// if any.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		n:         b.n,
+		edges:     make([]Edge, len(b.edges)),
+		adj:       make([][]NodeID, b.n),
+		edgeIndex: make(map[Edge]int, len(b.edges)),
+	}
+	copy(g.edges, b.edges)
+	for i, e := range g.edges {
+		g.edgeIndex[e] = i
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+	}
+	for u := range g.adj {
+		nbrs := g.adj[u]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	return g, nil
+}
+
+// MustBuild is Build for statically known-good graphs; it panics on error.
+// Intended for tests and examples.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns a copy of the edge list in insertion order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Neighbors returns the neighbours of u in ascending order. The returned
+// slice is shared and must not be modified by callers; use CopyNeighbors for
+// a private copy.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	if int(u) < 0 || int(u) >= g.n {
+		return nil
+	}
+	return g.adj[u]
+}
+
+// CopyNeighbors returns a fresh copy of the neighbours of u.
+func (g *Graph) CopyNeighbors(u NodeID) []NodeID {
+	nbrs := g.Neighbors(u)
+	out := make([]NodeID, len(nbrs))
+	copy(out, nbrs)
+	return out
+}
+
+// Degree returns the number of neighbours of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.Neighbors(u)) }
+
+// HasEdge reports whether {a, b} is an edge of G.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	_, ok := g.edgeIndex[NormalizedEdge(a, b)]
+	return ok
+}
+
+// EdgeIndex returns the dense index of edge {a,b} in [0, NumEdges), suitable
+// for parallel per-edge arrays. The second result is false if the edge does
+// not exist.
+func (g *Graph) EdgeIndex(a, b NodeID) (int, bool) {
+	i, ok := g.edgeIndex[NormalizedEdge(a, b)]
+	return i, ok
+}
+
+// ValidNode reports whether u is a node of g.
+func (g *Graph) ValidNode(u NodeID) bool { return int(u) >= 0 && int(u) < g.n }
+
+// Connected reports whether g is connected (or has at most one node).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	visited := make([]bool, g.n)
+	stack := []NodeID{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// String returns a compact human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.n, len(g.edges))
+}

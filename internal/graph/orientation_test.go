@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// chain returns the path graph 0-1-2-...-(n-1).
+func chain(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.MustBuild()
+}
+
+func TestDirectionString(t *testing.T) {
+	if In.String() != "in" || Out.String() != "out" {
+		t.Errorf("Direction strings: %v %v", In, Out)
+	}
+	if In.Flip() != Out || Out.Flip() != In {
+		t.Error("Flip is not an involution on {In, Out}")
+	}
+}
+
+func TestNewOrientationDefaults(t *testing.T) {
+	g := chain(t, 4)
+	o := NewOrientation(g)
+	for i := 0; i < 3; i++ {
+		if !o.PointsTo(NodeID(i), NodeID(i+1)) {
+			t.Errorf("edge {%d,%d} should point low→high initially", i, i+1)
+		}
+	}
+	if !o.IsSource(0) {
+		t.Error("node 0 should be a source")
+	}
+	if !o.IsSink(3) {
+		t.Error("node 3 should be a sink")
+	}
+}
+
+func TestDirConsistency(t *testing.T) {
+	// Invariant 3.1: dir[u,v] = in iff dir[v,u] = out, for every edge, even
+	// after arbitrary reversals.
+	g := mustGraph(t, 4, [2]NodeID{0, 1}, [2]NodeID{1, 2}, [2]NodeID{2, 3}, [2]NodeID{0, 3})
+	o := NewOrientation(g)
+	rng := rand.New(rand.NewSource(1))
+	edges := g.Edges()
+	for step := 0; step < 200; step++ {
+		e := edges[rng.Intn(len(edges))]
+		if err := o.Reverse(e.U, e.V); err != nil {
+			t.Fatalf("reverse: %v", err)
+		}
+		for _, e := range edges {
+			duv, ok1 := o.Dir(e.U, e.V)
+			dvu, ok2 := o.Dir(e.V, e.U)
+			if !ok1 || !ok2 {
+				t.Fatalf("Dir missing for edge %v", e)
+			}
+			if duv == dvu {
+				t.Fatalf("Invariant 3.1 violated at edge %v: both %v", e, duv)
+			}
+		}
+	}
+}
+
+func TestReverseNoSuchEdge(t *testing.T) {
+	g := chain(t, 3)
+	o := NewOrientation(g)
+	if err := o.Reverse(0, 2); !errors.Is(err, ErrNoSuchEdge) {
+		t.Errorf("Reverse(0,2) error = %v, want ErrNoSuchEdge", err)
+	}
+}
+
+func TestDegreesAndSinks(t *testing.T) {
+	// Star with center 0 and leaves 1..3, all edges leaf→center? Initial
+	// orientation is low→high, so 0→1, 0→2, 0→3: center is a source.
+	g := mustGraph(t, 4, [2]NodeID{0, 1}, [2]NodeID{0, 2}, [2]NodeID{0, 3})
+	o := NewOrientation(g)
+	if got := o.OutDegree(0); got != 3 {
+		t.Errorf("OutDegree(0) = %d, want 3", got)
+	}
+	if got := o.InDegree(0); got != 0 {
+		t.Errorf("InDegree(0) = %d, want 0", got)
+	}
+	sinks := o.Sinks()
+	if len(sinks) != 3 {
+		t.Fatalf("Sinks = %v, want the three leaves", sinks)
+	}
+	// Excluding a sink removes it from the report.
+	sinks = o.Sinks(1)
+	if len(sinks) != 2 {
+		t.Fatalf("Sinks(exclude 1) = %v, want 2 sinks", sinks)
+	}
+	// Reverse all edges: center becomes the only sink.
+	for leaf := NodeID(1); leaf <= 3; leaf++ {
+		if err := o.Reverse(0, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.IsSink(0) {
+		t.Error("center should now be a sink")
+	}
+	if got := len(o.Sinks()); got != 1 {
+		t.Errorf("Sinks count = %d, want 1", got)
+	}
+}
+
+func TestInOutNeighbors(t *testing.T) {
+	g := mustGraph(t, 3, [2]NodeID{0, 1}, [2]NodeID{1, 2})
+	o := NewOrientation(g)
+	in := o.InNeighbors(1)
+	out := o.OutNeighbors(1)
+	if len(in) != 1 || in[0] != 0 {
+		t.Errorf("InNeighbors(1) = %v, want [0]", in)
+	}
+	if len(out) != 1 || out[0] != 2 {
+		t.Errorf("OutNeighbors(1) = %v, want [2]", out)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := chain(t, 3)
+	o := NewOrientation(g)
+	c := o.Clone()
+	if !o.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	if err := c.Reverse(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Equal(c) {
+		t.Error("mutating clone affected original")
+	}
+	if o.PointsTo(1, 0) {
+		t.Error("original orientation changed by clone mutation")
+	}
+}
+
+func TestOrientationFromDirected(t *testing.T) {
+	g := chain(t, 3)
+	o, err := OrientationFromDirected(g, [][2]NodeID{{1, 0}, {1, 2}})
+	if err != nil {
+		t.Fatalf("OrientationFromDirected: %v", err)
+	}
+	if !o.PointsTo(1, 0) || !o.PointsTo(1, 2) {
+		t.Error("explicit directions not honoured")
+	}
+	if !o.IsSource(1) {
+		t.Error("node 1 should be a source")
+	}
+
+	if _, err := OrientationFromDirected(g, [][2]NodeID{{0, 1}}); err == nil {
+		t.Error("missing edge coverage not rejected")
+	}
+	if _, err := OrientationFromDirected(g, [][2]NodeID{{0, 1}, {0, 2}}); err == nil {
+		t.Error("non-edge not rejected")
+	}
+	if _, err := OrientationFromDirected(g, [][2]NodeID{{0, 1}, {1, 0}}); err == nil {
+		t.Error("double assignment not rejected")
+	}
+}
+
+func TestInDegreeMatchesInNeighbors(t *testing.T) {
+	// Property: incrementally maintained indeg always equals the recomputed
+	// count, across random reversal sequences on a random graph.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		b := NewBuilder(n)
+		for i := 0; i < n-1; i++ {
+			b.AddEdge(NodeID(i), NodeID(i+1))
+		}
+		// Sprinkle extra edges.
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				e := NormalizedEdge(NodeID(u), NodeID(v))
+				// AddEdge rejects duplicates; tolerate by checking first.
+				dup := false
+				for _, ex := range b.edges {
+					if ex == e {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					b.AddEdge(e.U, e.V)
+				}
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		o := NewOrientation(g)
+		edges := g.Edges()
+		for s := 0; s < 50; s++ {
+			e := edges[rng.Intn(len(edges))]
+			if err := o.Reverse(e.U, e.V); err != nil {
+				return false
+			}
+			for u := 0; u < n; u++ {
+				if o.InDegree(NodeID(u)) != len(o.InNeighbors(NodeID(u))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectedEdgesRoundTrip(t *testing.T) {
+	g := mustGraph(t, 4, [2]NodeID{0, 1}, [2]NodeID{1, 2}, [2]NodeID{2, 3})
+	o := NewOrientation(g)
+	if err := o.Reverse(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := OrientationFromDirected(g, o.DirectedEdges())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !o.Equal(rebuilt) {
+		t.Error("DirectedEdges → OrientationFromDirected did not round-trip")
+	}
+}

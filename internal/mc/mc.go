@@ -1,0 +1,132 @@
+// Package mc is an explicit-state model checker for the link-reversal
+// automata: it enumerates, by breadth-first search, *every* reachable state
+// of an automaton on a (small) instance and evaluates invariants on each.
+// Where the randomized engine of internal/sched samples executions, the
+// checker covers the whole reachable space — the exact set quantified over
+// by the paper's "in any reachable state" theorems.
+//
+// Single-node reverse(u) actions suffice for state coverage: sinks are
+// pairwise non-adjacent, so any reverse(S) step of the PR automaton
+// decomposes into |S| singleton steps through intermediate states, and the
+// set-step successor is reachable via singletons.
+package mc
+
+import (
+	"errors"
+	"fmt"
+
+	"linkreversal/internal/automaton"
+	"linkreversal/internal/core"
+)
+
+// Errors returned by Explore.
+var (
+	// ErrStateLimit is returned when the search frontier exceeds
+	// Options.MaxStates before exhausting the space.
+	ErrStateLimit = errors.New("mc: state limit exceeded")
+	// ErrNotCheckable is returned for automata that do not implement both
+	// core.StateKeyer and automaton.Cloner.
+	ErrNotCheckable = errors.New("mc: automaton does not support enumeration")
+)
+
+// checkable is the contract Explore needs from an automaton.
+type checkable interface {
+	automaton.Automaton
+	automaton.Cloner
+	core.StateKeyer
+}
+
+// Options configures the search.
+type Options struct {
+	// MaxStates bounds the explored set; 0 means 1 << 20.
+	MaxStates int
+	// Invariants are evaluated on every discovered state.
+	Invariants []automaton.Invariant
+}
+
+// Violation reports an invariant failure on a specific reachable state.
+type Violation struct {
+	StateKey string
+	Depth    int
+	Err      error
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("mc: depth %d state %q: %v", v.Depth, v.StateKey, v.Err)
+}
+
+// Result summarizes an exhaustive exploration.
+type Result struct {
+	// States is the number of distinct reachable states (including the
+	// initial state).
+	States int
+	// Transitions is the number of (state, action) pairs explored.
+	Transitions int
+	// MaxDepth is the longest shortest-path distance from the initial
+	// state (BFS depth of the deepest state).
+	MaxDepth int
+	// Quiescent is the number of states with no enabled action.
+	Quiescent int
+}
+
+// Explore enumerates all states reachable from a's current state and
+// checks every invariant on each. It returns a *Violation as the error if
+// an invariant fails.
+func Explore(a automaton.Automaton, opts Options) (*Result, error) {
+	start, ok := a.(checkable)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotCheckable, a.Name())
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 20
+	}
+	type entry struct {
+		st    checkable
+		depth int
+	}
+	res := &Result{}
+	seen := make(map[string]struct{})
+	frontier := []entry{{st: start, depth: 0}}
+	seen[start.StateKey()] = struct{}{}
+	res.States = 1
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur.depth > res.MaxDepth {
+			res.MaxDepth = cur.depth
+		}
+		if err := automaton.CheckAll(cur.st, opts.Invariants); err != nil {
+			return res, &Violation{StateKey: cur.st.StateKey(), Depth: cur.depth, Err: err}
+		}
+		enabled := cur.st.Enabled()
+		if len(enabled) == 0 {
+			res.Quiescent++
+			continue
+		}
+		for _, act := range enabled {
+			// Clone, then apply the single-node action.
+			next, ok := cur.st.CloneAutomaton().(checkable)
+			if !ok {
+				return res, fmt.Errorf("%w: clone of %s", ErrNotCheckable, cur.st.Name())
+			}
+			u := act.Participants()[0]
+			if err := next.Step(automaton.ReverseNode{U: u}); err != nil {
+				return res, fmt.Errorf("mc: step %s at depth %d: %w", act, cur.depth, err)
+			}
+			res.Transitions++
+			key := next.StateKey()
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			if res.States >= maxStates {
+				return res, fmt.Errorf("%w: %d states", ErrStateLimit, maxStates)
+			}
+			seen[key] = struct{}{}
+			res.States++
+			frontier = append(frontier, entry{st: next, depth: cur.depth + 1})
+		}
+	}
+	return res, nil
+}

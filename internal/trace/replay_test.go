@@ -1,0 +1,139 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"linkreversal/internal/automaton"
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/sched"
+	"linkreversal/internal/trace"
+	"linkreversal/internal/workload"
+)
+
+// record runs PR on a topology and returns the recorded execution.
+func record(t *testing.T, topo *workload.Topology, seed int64) (*core.Init, *automaton.Execution, *graph.Orientation) {
+	t.Helper()
+	in := topo.MustInit()
+	pr := core.NewPRAutomaton(in)
+	res, err := sched.Run(pr, sched.NewRandomSubset(seed), sched.Options{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in, res.Execution, pr.Orientation().Clone()
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, exec, _ := record(t, workload.AlternatingChain(8), 3)
+	var buf bytes.Buffer
+	if err := trace.EncodeExecution(&buf, exec); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.DecodeExecution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Len() != exec.Len() {
+		t.Fatalf("decoded %d steps, want %d", decoded.Len(), exec.Len())
+	}
+	if decoded.TotalReversals() != exec.TotalReversals() {
+		t.Errorf("decoded reversals %d, want %d", decoded.TotalReversals(), exec.TotalReversals())
+	}
+	if decoded.AutomatonName != "PR" {
+		t.Errorf("algorithm = %q", decoded.AutomatonName)
+	}
+	for i := range exec.Records {
+		if decoded.Records[i].Action.String() != exec.Records[i].Action.String() {
+			t.Fatalf("step %d decoded as %s, recorded %s",
+				i, decoded.Records[i].Action, exec.Records[i].Action)
+		}
+	}
+}
+
+func TestReplayReproducesFinalOrientation(t *testing.T) {
+	for _, topo := range []*workload.Topology{
+		workload.BadChain(10),
+		workload.AlternatingChain(9),
+		workload.Grid(3, 3),
+		workload.RandomConnected(12, 0.25, 5),
+	} {
+		t.Run(topo.Name, func(t *testing.T) {
+			in, exec, final := record(t, topo, 7)
+			fresh := core.NewPRAutomaton(in)
+			steps, err := trace.Replay(fresh, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if steps != exec.Len() {
+				t.Errorf("replayed %d steps, want %d", steps, exec.Len())
+			}
+			if !fresh.Orientation().Equal(final) {
+				t.Error("replay produced a different final orientation")
+			}
+		})
+	}
+}
+
+func TestReplayThroughSerialization(t *testing.T) {
+	in, exec, final := record(t, workload.Ladder(4), 11)
+	var buf bytes.Buffer
+	if err := trace.EncodeExecution(&buf, exec); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.DecodeExecution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := core.NewPRAutomaton(in)
+	if _, err := trace.Replay(fresh, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Orientation().Equal(final) {
+		t.Error("serialized replay diverged")
+	}
+}
+
+func TestReplayDetectsWrongAutomaton(t *testing.T) {
+	// A PR recording cannot replay on FR when their behaviours differ: on
+	// the bad chain PR skips listed edges (linear pass) while FR re-reverses
+	// everything, so either a precondition or a reversal count diverges.
+	// (On the alternating chain FR and PR coincide exactly — see E4 — so
+	// that topology would NOT detect the mismatch.)
+	in, exec, _ := record(t, workload.BadChain(8), 3)
+	fr := core.NewFR(in)
+	if _, err := trace.Replay(fr, exec); !errors.Is(err, trace.ErrReplayMismatch) {
+		t.Errorf("error = %v, want ErrReplayMismatch", err)
+	}
+}
+
+func TestReplayDetectsTamperedRecording(t *testing.T) {
+	in, exec, _ := record(t, workload.BadChain(6), 2)
+	// Tamper: duplicate the first step — its node is no longer a sink.
+	tampered := &automaton.Execution{AutomatonName: exec.AutomatonName}
+	tampered.Append(exec.Records[0].Action, exec.Records[0].Reversed)
+	tampered.Append(exec.Records[0].Action, exec.Records[0].Reversed)
+	fresh := core.NewPRAutomaton(in)
+	if _, err := trace.Replay(fresh, tampered); !errors.Is(err, trace.ErrReplayMismatch) {
+		t.Errorf("error = %v, want ErrReplayMismatch", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "not json", in: "not json at all"},
+		{name: "empty step", in: `{"algorithm":"PR","steps":[{"nodes":[],"reversed":0}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := trace.DecodeExecution(strings.NewReader(tt.in)); !errors.Is(err, trace.ErrBadRecording) {
+				t.Errorf("error = %v, want ErrBadRecording", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"linkreversal/internal/automaton"
+	"linkreversal/internal/graph"
+)
+
+func TestWorkProfileSingleActions(t *testing.T) {
+	e := &automaton.Execution{AutomatonName: "PR"}
+	e.Append(automaton.ReverseNode{U: 1}, 3)
+	e.Append(automaton.ReverseNode{U: 2}, 2)
+	e.Append(automaton.ReverseNode{U: 1}, 1)
+	p := NewWorkProfile(e)
+	if got := p.NodeCost(1); got != 4 {
+		t.Errorf("NodeCost(1) = %d, want 4", got)
+	}
+	if got := p.NodeCost(2); got != 2 {
+		t.Errorf("NodeCost(2) = %d, want 2", got)
+	}
+	if got := p.NodeCost(9); got != 0 {
+		t.Errorf("NodeCost(9) = %d, want 0", got)
+	}
+	if got := p.SocialCost(); got != 6 {
+		t.Errorf("SocialCost = %d, want 6", got)
+	}
+	if got := p.Steps(); got != 3 {
+		t.Errorf("Steps = %d, want 3", got)
+	}
+	u, c := p.MaxNodeCost()
+	if u != 1 || c != 4 {
+		t.Errorf("MaxNodeCost = (%d,%d), want (1,4)", u, c)
+	}
+	active := p.ActiveNodes()
+	if len(active) != 2 || active[0] != 1 || active[1] != 2 {
+		t.Errorf("ActiveNodes = %v, want [1 2]", active)
+	}
+}
+
+func TestWorkProfileSetActionSplit(t *testing.T) {
+	e := &automaton.Execution{AutomatonName: "PR"}
+	e.Append(automaton.NewReverseSet([]graph.NodeID{1, 2, 3}), 7)
+	p := NewWorkProfile(e)
+	// 7 split over 3 participants: 3,2,2 in participant order.
+	total := p.NodeCost(1) + p.NodeCost(2) + p.NodeCost(3)
+	if total != 7 {
+		t.Errorf("split total = %d, want 7", total)
+	}
+	for _, u := range []graph.NodeID{1, 2, 3} {
+		if c := p.NodeCost(u); c < 2 || c > 3 {
+			t.Errorf("NodeCost(%d) = %d, want 2 or 3", u, c)
+		}
+	}
+}
+
+func TestWorkProfileEmpty(t *testing.T) {
+	p := NewWorkProfile(&automaton.Execution{})
+	if p.SocialCost() != 0 || p.Steps() != 0 {
+		t.Error("empty profile should be zero")
+	}
+	u, c := p.MaxNodeCost()
+	if u != -1 || c != 0 {
+		t.Errorf("MaxNodeCost on empty = (%d,%d)", u, c)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E4 worst case", "nb", "FR", "PR")
+	tb.MustAddRow(I(4), I(16), I(10))
+	tb.MustAddRow(I(8), I(64), I(36))
+	out := tb.String()
+	for _, want := range []string{"# E4 worst case", "nb", "FR", "PR", "16", "36"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("render has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowWidthMismatch(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	if err := tb.AddRow(I(1)); err == nil {
+		t.Error("width mismatch not rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddRow should panic on mismatch")
+		}
+	}()
+	tb.MustAddRow(I(1))
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.MustAddRow(S("plain"), I(1))
+	tb.MustAddRow(S("with,comma"), F(2.5))
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Errorf("float cell missing:\n%s", out)
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	tests := []struct {
+		name string
+		k    float64
+	}{
+		{name: "linear", k: 1},
+		{name: "quadratic", k: 2},
+		{name: "cubic", k: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var xs, ys []float64
+			for x := 2.0; x <= 64; x *= 2 {
+				xs = append(xs, x)
+				ys = append(ys, 3.7*math.Pow(x, tt.k))
+			}
+			got, ok := FitExponent(xs, ys)
+			if !ok {
+				t.Fatal("fit failed")
+			}
+			if math.Abs(got-tt.k) > 0.01 {
+				t.Errorf("exponent = %.4f, want %.1f", got, tt.k)
+			}
+		})
+	}
+}
+
+func TestFitExponentDegenerate(t *testing.T) {
+	if _, ok := FitExponent([]float64{1}, []float64{1}); ok {
+		t.Error("single sample must not fit")
+	}
+	if _, ok := FitExponent([]float64{1, 2}, []float64{1}); ok {
+		t.Error("length mismatch must not fit")
+	}
+	if _, ok := FitExponent([]float64{-1, 0}, []float64{1, 2}); ok {
+		t.Error("non-positive xs must not fit")
+	}
+	// Identical x values: zero denominator.
+	if _, ok := FitExponent([]float64{2, 2}, []float64{4, 8}); ok {
+		t.Error("constant x must not fit")
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"linkreversal/internal/graph"
+)
+
+// Hypercube builds the d-dimensional hypercube (2^d nodes, node IDs are
+// coordinate bitmasks) with a seeded random DAG orientation, destination 0.
+// Hypercubes are the classic high-connectivity benchmark: many disjoint
+// routes keep reversal work low.
+func Hypercube(d int, seed int64) *Topology {
+	if d < 1 {
+		d = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << uint(d)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << uint(bit))
+			if u < v {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	g := b.MustBuild()
+	rank := rng.Perm(n)
+	directed := make([][2]graph.NodeID, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		if rank[e.U] < rank[e.V] {
+			directed = append(directed, [2]graph.NodeID{e.U, e.V})
+		} else {
+			directed = append(directed, [2]graph.NodeID{e.V, e.U})
+		}
+	}
+	o, err := graph.OrientationFromDirected(g, directed)
+	if err != nil {
+		panic(fmt.Sprintf("workload: hypercube orientation: %v", err))
+	}
+	return &Topology{
+		Name:    fmt.Sprintf("hypercube-%d-s%d", d, seed),
+		Graph:   g,
+		Initial: o,
+		Dest:    0,
+	}
+}
+
+// CompleteBipartite builds K_{a,b} (left part 0..a-1, right part a..a+b-1)
+// with every edge directed left→right and destination 0. Every right node
+// starts as a sink; the topology maximizes simultaneous sinks.
+func CompleteBipartite(a, bn int) *Topology {
+	if a < 1 {
+		a = 1
+	}
+	if bn < 1 {
+		bn = 1
+	}
+	n := a + bn
+	b := graph.NewBuilder(n)
+	for u := 0; u < a; u++ {
+		for v := a; v < n; v++ {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	g := b.MustBuild()
+	return &Topology{
+		Name:    fmt.Sprintf("kbipartite-%dx%d", a, bn),
+		Graph:   g,
+		Initial: graph.NewOrientation(g),
+		Dest:    0,
+	}
+}
+
+// BinaryTree builds a complete binary tree with `levels` levels, edges
+// directed from the root (node 0, the destination) toward the leaves —
+// i.e. every leaf is a sink and no node has a path to the root.
+func BinaryTree(levels int) *Topology {
+	if levels < 1 {
+		levels = 1
+	}
+	n := (1 << uint(levels)) - 1
+	b := graph.NewBuilder(n)
+	// n = 2^levels − 1 is odd, so every internal node has both children.
+	for u := 0; 2*u+2 < n; u++ {
+		b.AddEdge(graph.NodeID(u), graph.NodeID(2*u+1))
+		b.AddEdge(graph.NodeID(u), graph.NodeID(2*u+2))
+	}
+	g := b.MustBuild()
+	return &Topology{
+		Name:    fmt.Sprintf("btree-%d", levels),
+		Graph:   g,
+		Initial: graph.NewOrientation(g),
+		Dest:    0,
+	}
+}
+
+// Wheel builds a wheel graph: hub node 0 (the destination) connected to a
+// cycle of n-1 rim nodes; all edges directed away from the hub and
+// low→high around the rim.
+func Wheel(n int) *Topology {
+	if n < 4 {
+		n = 4
+	}
+	b := graph.NewBuilder(n)
+	for u := 1; u < n; u++ {
+		b.AddEdge(0, graph.NodeID(u))
+	}
+	for u := 1; u < n-1; u++ {
+		b.AddEdge(graph.NodeID(u), graph.NodeID(u+1))
+	}
+	b.AddEdge(1, graph.NodeID(n-1))
+	g := b.MustBuild()
+	return &Topology{
+		Name:    fmt.Sprintf("wheel-%d", n),
+		Graph:   g,
+		Initial: graph.NewOrientation(g),
+		Dest:    0,
+	}
+}

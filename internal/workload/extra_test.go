@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"linkreversal/internal/graph"
+)
+
+func TestHypercubeShape(t *testing.T) {
+	topo := Hypercube(4, 1)
+	if got := topo.Graph.NumNodes(); got != 16 {
+		t.Errorf("nodes = %d, want 16", got)
+	}
+	// d·2^d / 2 edges.
+	if got := topo.Graph.NumEdges(); got != 32 {
+		t.Errorf("edges = %d, want 32", got)
+	}
+	for u := 0; u < 16; u++ {
+		if d := topo.Graph.Degree(graph.NodeID(u)); d != 4 {
+			t.Errorf("degree(%d) = %d, want 4", u, d)
+		}
+	}
+	if !graph.IsAcyclic(topo.Initial) {
+		t.Error("hypercube orientation must be a DAG")
+	}
+	if !topo.Graph.Connected() {
+		t.Error("hypercube must be connected")
+	}
+}
+
+func TestCompleteBipartiteShape(t *testing.T) {
+	topo := CompleteBipartite(3, 5)
+	if got := topo.Graph.NumNodes(); got != 8 {
+		t.Errorf("nodes = %d, want 8", got)
+	}
+	if got := topo.Graph.NumEdges(); got != 15 {
+		t.Errorf("edges = %d, want 15", got)
+	}
+	// Every right node starts as a sink.
+	for v := 3; v < 8; v++ {
+		if !topo.Initial.IsSink(graph.NodeID(v)) {
+			t.Errorf("right node %d should start as a sink", v)
+		}
+	}
+}
+
+func TestBinaryTreeShape(t *testing.T) {
+	topo := BinaryTree(4)
+	if got := topo.Graph.NumNodes(); got != 15 {
+		t.Errorf("nodes = %d, want 15", got)
+	}
+	if got := topo.Graph.NumEdges(); got != 14 {
+		t.Errorf("edges = %d, want 14", got)
+	}
+	if !topo.Graph.Connected() {
+		t.Error("tree must be connected")
+	}
+	// Every leaf (nodes 7..14) starts as a sink.
+	for u := 7; u < 15; u++ {
+		if !topo.Initial.IsSink(graph.NodeID(u)) {
+			t.Errorf("leaf %d should start as a sink", u)
+		}
+	}
+	// All nodes except the root are bad.
+	if bad := graph.BadNodes(topo.Initial, 0); len(bad) != 14 {
+		t.Errorf("bad nodes = %d, want 14", len(bad))
+	}
+}
+
+func TestWheelShape(t *testing.T) {
+	topo := Wheel(8)
+	if got := topo.Graph.NumNodes(); got != 8 {
+		t.Errorf("nodes = %d, want 8", got)
+	}
+	// 7 spokes + 7 rim edges.
+	if got := topo.Graph.NumEdges(); got != 14 {
+		t.Errorf("edges = %d, want 14", got)
+	}
+	if got := topo.Graph.Degree(0); got != 7 {
+		t.Errorf("hub degree = %d, want 7", got)
+	}
+	for u := 1; u < 8; u++ {
+		if d := topo.Graph.Degree(graph.NodeID(u)); d != 3 {
+			t.Errorf("rim degree(%d) = %d, want 3", u, d)
+		}
+	}
+}
+
+func TestExtraGeneratorsValidInits(t *testing.T) {
+	for _, topo := range []*Topology{
+		Hypercube(3, 2), CompleteBipartite(2, 2), BinaryTree(3), Wheel(6),
+		Hypercube(0, 1), CompleteBipartite(0, 0), BinaryTree(0), Wheel(2),
+	} {
+		t.Run(topo.Name, func(t *testing.T) {
+			if _, err := topo.Init(); err != nil {
+				t.Fatalf("Init: %v", err)
+			}
+			if !graph.IsAcyclic(topo.Initial) {
+				t.Error("initial orientation must be acyclic")
+			}
+		})
+	}
+}

@@ -1,0 +1,501 @@
+// Package linkreversal is a library of link-reversal routing algorithms,
+// reproducing "Partial Reversal Acyclicity" by Radeva & Lynch
+// (MIT-CSAIL-TR-2011-022 / PODC 2011) together with the classic algorithms
+// it builds on: Full Reversal and Partial Reversal (Gafni & Bertsekas 1981),
+// the paper's static NewPR reformulation, the height-based original
+// formulation, and the Binary Link Labels generalization.
+//
+// The public API has three layers:
+//
+//   - Run / Config: execute any algorithm variant on a graph under a chosen
+//     scheduler, optionally checking the paper's invariants after every
+//     step, and report work and outcome.
+//   - RunDistributed: execute the protocol asynchronously with one
+//     goroutine per node over a simulated message-passing network.
+//   - VerifySimulation: drive the paper's simulation relations
+//     PR → OneStepPR → NewPR (Theorems 5.2/5.4) to quiescence and report
+//     any violation.
+//
+// Graphs, orientations and ready-made topologies are exposed through type
+// aliases of the internal packages, so the full toolkit (generators, DOT
+// export, analysis) is available to API users.
+package linkreversal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"linkreversal/internal/automaton"
+	"linkreversal/internal/core"
+	"linkreversal/internal/dist"
+	"linkreversal/internal/election"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/mutex"
+	"linkreversal/internal/routing"
+	"linkreversal/internal/sched"
+	"linkreversal/internal/trace"
+	"linkreversal/internal/workload"
+)
+
+// Re-exported fundamental types. Aliases keep the internal packages as the
+// single source of truth while making every method available to API users.
+type (
+	// NodeID identifies a node (dense IDs 0..n-1).
+	NodeID = graph.NodeID
+	// Graph is the fixed undirected communication graph G.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges and produces an immutable Graph.
+	GraphBuilder = graph.Builder
+	// Orientation is a directed version G' of a Graph.
+	Orientation = graph.Orientation
+	// Topology is a named graph with destination and initial orientation.
+	Topology = workload.Topology
+	// Router maintains loop-free routes over a mutable topology.
+	Router = routing.Router
+	// Height is the (a, b, id) triple of the height-based formulation.
+	Height = core.Height
+	// ElectionService maintains per-component leaders via link reversal.
+	ElectionService = election.Service
+	// MutexManager coordinates token-based mutual exclusion on the DAG.
+	MutexManager = mutex.Manager
+	// GrantRecord describes one mutual-exclusion token handoff.
+	GrantRecord = mutex.GrantRecord
+	// DynamicNetwork runs the height-based protocol with one goroutine per
+	// node over a topology that changes at runtime.
+	DynamicNetwork = dist.DynamicNetwork
+	// NetworkSnapshot is the quiescent global state of a DynamicNetwork.
+	NetworkSnapshot = dist.Snapshot
+	// Execution is a recorded sequence of reversal steps, serializable
+	// with EncodeExecution/DecodeExecution and re-runnable with
+	// ReplayExecution.
+	Execution = automaton.Execution
+)
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// DefaultOrientation orients every edge from the lower- to the
+// higher-numbered endpoint (a DAG for any graph).
+func DefaultOrientation(g *Graph) *Orientation { return graph.NewOrientation(g) }
+
+// OrientationFrom builds an orientation from explicit (from, to) pairs
+// covering every edge of g exactly once.
+func OrientationFrom(g *Graph, directed [][2]NodeID) (*Orientation, error) {
+	return graph.OrientationFromDirected(g, directed)
+}
+
+// Ready-made topologies (see internal/workload for details).
+var (
+	// BadChain is the Θ(n_b²) worst case for Full Reversal.
+	BadChain = workload.BadChain
+	// AlternatingChain is the Θ(n_b²) worst case for Partial Reversal.
+	AlternatingChain = workload.AlternatingChain
+	// GoodChain starts destination-oriented.
+	GoodChain = workload.GoodChain
+	// Star has the destination at the hub and every leaf a sink.
+	Star = workload.Star
+	// Ladder is a 2×k ladder directed away from one corner.
+	Ladder = workload.Ladder
+	// Grid is an r×c grid directed away from the top-left corner.
+	Grid = workload.Grid
+	// LayeredDAG is a connected layered random DAG.
+	LayeredDAG = workload.LayeredDAG
+	// RandomConnected is a random connected graph with a random DAG
+	// orientation.
+	RandomConnected = workload.RandomConnected
+	// Tree is a random tree oriented low→high.
+	Tree = workload.Tree
+	// Ring is an n-cycle with a random DAG orientation.
+	Ring = workload.Ring
+	// Hypercube is the d-dimensional hypercube with a random orientation.
+	Hypercube = workload.Hypercube
+	// CompleteBipartite is K_{a,b} directed left→right.
+	CompleteBipartite = workload.CompleteBipartite
+	// BinaryTree is a complete binary tree directed root→leaves.
+	BinaryTree = workload.BinaryTree
+	// Wheel is a hub-plus-rim wheel graph directed away from the hub.
+	Wheel = workload.Wheel
+)
+
+// NewRouter builds a dynamic-topology router from a topology (see Router).
+func NewRouter(topo *Topology) (*Router, error) { return routing.NewRouter(topo) }
+
+// NewElectionService builds a leader-election service from a topology; all
+// nodes start alive and the initial leaders are elected immediately.
+func NewElectionService(topo *Topology) (*ElectionService, error) {
+	return election.NewService(topo)
+}
+
+// NewMutexManager builds a mutual-exclusion manager from a topology; the
+// topology's destination holds the token initially.
+func NewMutexManager(topo *Topology) (*MutexManager, error) {
+	return mutex.NewManager(topo)
+}
+
+// NewDynamicNetwork starts the goroutine-per-node protocol over a mutable
+// topology. Call AwaitQuiescence before reading a Snapshot, and Stop when
+// done.
+func NewDynamicNetwork(topo *Topology) (*DynamicNetwork, error) {
+	return dist.NewDynamicNetwork(topo)
+}
+
+// ExportDOT renders an orientation in Graphviz DOT format, highlighting the
+// given nodes (typically the destination).
+func ExportDOT(o *Orientation, name string, highlight ...NodeID) string {
+	return graph.DOT(o, name, highlight...)
+}
+
+// Algorithm selects the link-reversal variant.
+type Algorithm int
+
+const (
+	// PR is the original Partial Reversal automaton with set actions
+	// (Algorithm 1 of the paper).
+	PR Algorithm = iota + 1
+	// OneStepPR is PR restricted to one node per step (Algorithm 3).
+	OneStepPR
+	// NewPR is the paper's static parity-based reformulation (Algorithm 2).
+	NewPR
+	// FR is Full Reversal (Gafni & Bertsekas).
+	FR
+	// GBPair is the original height-based Partial Reversal.
+	GBPair
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case PR:
+		return "PR"
+	case OneStepPR:
+		return "OneStepPR"
+	case NewPR:
+		return "NewPR"
+	case FR:
+		return "FR"
+	case GBPair:
+		return "GBPair"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Scheduler selects the adversary that picks which enabled sinks step.
+type Scheduler int
+
+const (
+	// Greedy schedules all enabled sinks together (maximal parallel round).
+	Greedy Scheduler = iota + 1
+	// RandomSingle schedules one uniformly random enabled sink.
+	RandomSingle
+	// RandomSubset schedules a random non-empty subset of enabled sinks.
+	RandomSubset
+	// RoundRobin cycles fairly through node IDs.
+	RoundRobin
+	// LIFO always schedules the highest-numbered enabled sink.
+	LIFO
+	// AdversarialMax picks the enabled action that reverses the most edges
+	// (one-step lookahead on a cloned automaton).
+	AdversarialMax
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	switch s {
+	case Greedy:
+		return "greedy"
+	case RandomSingle:
+		return "random-single"
+	case RandomSubset:
+		return "random-subset"
+	case RoundRobin:
+		return "round-robin"
+	case LIFO:
+		return "lifo"
+	case AdversarialMax:
+		return "adversarial-max"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// Errors returned by the public API.
+var (
+	// ErrUnknownAlgorithm is returned for an unrecognized Algorithm value.
+	ErrUnknownAlgorithm = errors.New("linkreversal: unknown algorithm")
+	// ErrUnknownScheduler is returned for an unrecognized Scheduler value.
+	ErrUnknownScheduler = errors.New("linkreversal: unknown scheduler")
+	// ErrSuspectedPartition is returned by DynamicNetwork.AwaitQuiescence
+	// when a region's heights climbed past the ceiling, the signature of a
+	// component cut off from the destination.
+	ErrSuspectedPartition = dist.ErrHeightCeiling
+)
+
+// Config parameterizes Run.
+type Config struct {
+	// Algorithm to execute; default PR.
+	Algorithm Algorithm
+	// Scheduler adversary; default Greedy.
+	Scheduler Scheduler
+	// Seed for randomized schedulers.
+	Seed int64
+	// MaxSteps bounds the execution; 0 = 100·n²+100.
+	MaxSteps int
+	// CheckInvariants verifies the paper's invariant suite for the chosen
+	// variant after every step.
+	CheckInvariants bool
+	// RecordExecution captures the step sequence in Report.Execution for
+	// serialization and replay.
+	RecordExecution bool
+}
+
+// Report summarizes a run.
+type Report struct {
+	Algorithm           Algorithm
+	Scheduler           Scheduler
+	Steps               int
+	TotalReversals      int
+	DummySteps          int
+	Quiesced            bool
+	Acyclic             bool
+	DestinationOriented bool
+	// Final is the resulting orientation.
+	Final *Orientation
+	// Execution is the recorded step sequence (nil unless
+	// Config.RecordExecution was set).
+	Execution *Execution
+}
+
+func newAutomaton(a Algorithm, in *core.Init) (automaton.Automaton, []automaton.Invariant, error) {
+	switch a {
+	case PR:
+		return core.NewPRAutomaton(in), core.ListInvariants(), nil
+	case OneStepPR:
+		return core.NewOneStepPR(in), core.ListInvariants(), nil
+	case NewPR:
+		return core.NewNewPR(in), core.NewPRInvariants(), nil
+	case FR:
+		return core.NewFR(in), core.BasicInvariants(), nil
+	case GBPair:
+		return core.NewGBPair(in), core.BasicInvariants(), nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, int(a))
+	}
+}
+
+func newScheduler(s Scheduler, seed int64) (sched.Scheduler, error) {
+	switch s {
+	case Greedy:
+		return sched.Greedy{}, nil
+	case RandomSingle:
+		return sched.NewRandomSingle(seed), nil
+	case RandomSubset:
+		return sched.NewRandomSubset(seed), nil
+	case RoundRobin:
+		return sched.NewRoundRobin(), nil
+	case LIFO:
+		return sched.LIFO{}, nil
+	case AdversarialMax:
+		return sched.AdversarialMax{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownScheduler, int(s))
+	}
+}
+
+// Run executes cfg.Algorithm on (g, initial, dest) until no sink remains
+// and returns the run report. The initial orientation must be acyclic.
+func Run(g *Graph, initial *Orientation, dest NodeID, cfg Config) (*Report, error) {
+	if cfg.Algorithm == 0 {
+		cfg.Algorithm = PR
+	}
+	if cfg.Scheduler == 0 {
+		cfg.Scheduler = Greedy
+	}
+	in, err := core.NewInit(g, initial, dest)
+	if err != nil {
+		return nil, err
+	}
+	a, invs, err := newAutomaton(cfg.Algorithm, in)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newScheduler(cfg.Scheduler, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := sched.Options{MaxSteps: cfg.MaxSteps, Record: cfg.RecordExecution}
+	if cfg.CheckInvariants {
+		opts.Invariants = invs
+	}
+	res, err := sched.Run(a, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Algorithm:           cfg.Algorithm,
+		Scheduler:           cfg.Scheduler,
+		Steps:               res.Steps,
+		TotalReversals:      res.TotalReversals,
+		Quiesced:            res.Quiesced,
+		Acyclic:             graph.IsAcyclic(a.Orientation()),
+		DestinationOriented: graph.IsDestinationOriented(a.Orientation(), dest),
+		Final:               a.Orientation().Clone(),
+	}
+	if np, ok := a.(*core.NewPR); ok {
+		rep.DummySteps = np.DummySteps()
+	}
+	rep.Execution = res.Execution
+	return rep, nil
+}
+
+// RunTopology is Run over a ready-made Topology.
+func RunTopology(topo *Topology, cfg Config) (*Report, error) {
+	return Run(topo.Graph, topo.Initial, topo.Dest, cfg)
+}
+
+// DistAlgorithm selects the distributed protocol variant.
+type DistAlgorithm = dist.Algorithm
+
+// Distributed protocol variants for RunDistributed.
+const (
+	// DistFR is asynchronous Full Reversal.
+	DistFR = dist.FullReversal
+	// DistPR is asynchronous list-based Partial Reversal.
+	DistPR = dist.PartialReversal
+	// DistNewPR is the asynchronous static (parity) Partial Reversal.
+	DistNewPR = dist.StaticPartialReversal
+)
+
+// DistReport summarizes a distributed run.
+type DistReport struct {
+	Algorithm           DistAlgorithm
+	Messages            int
+	Steps               int
+	TotalReversals      int
+	Acyclic             bool
+	DestinationOriented bool
+	Final               *Orientation
+}
+
+// RunDistributed executes the protocol with one goroutine per node over an
+// asynchronous message-passing network and returns once it quiesces.
+func RunDistributed(ctx context.Context, topo *Topology, alg DistAlgorithm) (*DistReport, error) {
+	in, err := topo.Init()
+	if err != nil {
+		return nil, err
+	}
+	res, err := dist.Run(ctx, in, alg)
+	if err != nil {
+		return nil, err
+	}
+	return &DistReport{
+		Algorithm:           alg,
+		Messages:            res.Stats.Messages,
+		Steps:               res.Stats.Steps,
+		TotalReversals:      res.Stats.TotalReversals,
+		Acyclic:             graph.IsAcyclic(res.Final),
+		DestinationOriented: graph.IsDestinationOriented(res.Final, topo.Dest),
+		Final:               res.Final,
+	}, nil
+}
+
+// SimulationReport summarizes a VerifySimulation run.
+type SimulationReport struct {
+	PRSteps        int
+	OneStepPRSteps int
+	NewPRSteps     int
+	DummySteps     int
+	OrientationsEq bool
+}
+
+// VerifySimulation drives the simulation relations R′ (PR → OneStepPR) and
+// R (OneStepPR → NewPR) to quiescence under a seeded random set schedule,
+// checking both relations after every PR step. It returns an error naming
+// the violated clause if either relation fails (they never do — this is the
+// machine-checked Theorem 5.5).
+func VerifySimulation(topo *Topology, seed int64) (*SimulationReport, error) {
+	in, err := topo.Init()
+	if err != nil {
+		return nil, err
+	}
+	d := core.NewSimulationDriver(in)
+	rng := rand.New(rand.NewSource(seed))
+	n := topo.Graph.NumNodes()
+	for step := 0; step < 100*n*n+100 && !d.Quiescent(); step++ {
+		var sinks []NodeID
+		for _, act := range d.PR().Enabled() {
+			sinks = append(sinks, act.Participants()...)
+		}
+		pick := []NodeID{sinks[rng.Intn(len(sinks))]}
+		for _, u := range sinks {
+			if u != pick[0] && rng.Intn(2) == 0 {
+				pick = append(pick, u)
+			}
+		}
+		if err := d.Step(pick); err != nil {
+			return nil, err
+		}
+	}
+	if !d.Quiescent() {
+		return nil, fmt.Errorf("linkreversal: simulation did not quiesce")
+	}
+	return &SimulationReport{
+		PRSteps:        d.PR().Steps(),
+		OneStepPRSteps: d.OneStepPR().Steps(),
+		NewPRSteps:     d.NewPR().Steps(),
+		DummySteps:     d.NewPR().DummySteps(),
+		OrientationsEq: d.PR().Orientation().Equal(d.NewPR().Orientation()),
+	}, nil
+}
+
+// EncodeExecution serializes a recorded execution as JSON.
+func EncodeExecution(w io.Writer, e *Execution) error { return trace.EncodeExecution(w, e) }
+
+// DecodeExecution parses an execution serialized by EncodeExecution.
+func DecodeExecution(r io.Reader) (*Execution, error) { return trace.DecodeExecution(r) }
+
+// ReplayExecution re-applies a recorded execution to a fresh automaton of
+// the given variant on (g, initial, dest), verifying every recorded step.
+// It returns a report of the replayed run.
+func ReplayExecution(g *Graph, initial *Orientation, dest NodeID, alg Algorithm, e *Execution) (*Report, error) {
+	in, err := core.NewInit(g, initial, dest)
+	if err != nil {
+		return nil, err
+	}
+	a, _, err := newAutomaton(alg, in)
+	if err != nil {
+		return nil, err
+	}
+	steps, err := trace.Replay(a, e)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Algorithm:           alg,
+		Steps:               steps,
+		Quiesced:            a.Quiescent(),
+		Acyclic:             graph.IsAcyclic(a.Orientation()),
+		DestinationOriented: graph.IsDestinationOriented(a.Orientation(), dest),
+		Final:               a.Orientation().Clone(),
+	}
+	if wc, ok := a.(interface{ TotalReversals() int }); ok {
+		rep.TotalReversals = wc.TotalReversals()
+	}
+	return rep, nil
+}
+
+// IsAcyclic reports whether o contains no directed cycle.
+func IsAcyclic(o *Orientation) bool { return graph.IsAcyclic(o) }
+
+// IsDestinationOriented reports whether every node has a directed path to
+// dest in o.
+func IsDestinationOriented(o *Orientation, dest NodeID) bool {
+	return graph.IsDestinationOriented(o, dest)
+}
+
+// BadNodes returns the nodes with no directed path to dest (the n_b of the
+// worst-case bound), in ascending order.
+func BadNodes(o *Orientation, dest NodeID) []NodeID { return graph.BadNodes(o, dest) }
