@@ -1,0 +1,54 @@
+package linkreversal_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	lr "linkreversal"
+)
+
+// TestRunDistributedAllTopologies pins this PR's acceptance bar: every
+// distributed protocol variant must quiesce acyclic and destination
+// oriented on every ready-made topology exported by the public API.
+func TestRunDistributedAllTopologies(t *testing.T) {
+	topos := []*lr.Topology{
+		lr.BadChain(12),
+		lr.AlternatingChain(11),
+		lr.GoodChain(8),
+		lr.Star(9),
+		lr.Ladder(5),
+		lr.Grid(4, 4),
+		lr.LayeredDAG(4, 4, 0.4, 3),
+		lr.RandomConnected(16, 0.25, 7),
+		lr.Tree(12, 5),
+		lr.Ring(8, 2),
+		lr.Hypercube(3, 4),
+		lr.CompleteBipartite(3, 4),
+		lr.BinaryTree(4),
+		lr.Wheel(8),
+	}
+	for _, topo := range topos {
+		for _, alg := range []lr.DistAlgorithm{lr.DistFR, lr.DistPR, lr.DistNewPR} {
+			topo, alg := topo, alg
+			t.Run(topo.Name+"/"+alg.String(), func(t *testing.T) {
+				t.Parallel()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				rep, err := lr.RunDistributed(ctx, topo, alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Acyclic {
+					t.Error("final orientation is cyclic")
+				}
+				if !rep.DestinationOriented {
+					t.Error("final orientation is not destination oriented")
+				}
+				if rep.Messages < rep.TotalReversals {
+					t.Errorf("messages %d < reversals %d", rep.Messages, rep.TotalReversals)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module linkreversal
+
+go 1.24

@@ -1,0 +1,133 @@
+// Package dist executes the link-reversal protocols asynchronously: one
+// goroutine per node, exchanging height and reversal messages over buffered
+// channels. It is the paper's core scenario — Radeva & Lynch's acyclicity
+// results are claims about *every* asynchronous execution, and this package
+// realizes such executions with real concurrency instead of a simulated
+// scheduler.
+//
+// Two engines are provided:
+//
+//   - Run executes one of the three protocol variants (FullReversal,
+//     PartialReversal, StaticPartialReversal) on a fixed topology until
+//     global quiescence, using reversal-notification messages. Every step a
+//     node takes is a valid step of the corresponding sequential automaton
+//     (see the safety argument below), so the recorded step order replays
+//     verbatim on the internal/core automata — the cross-check exploited by
+//     the test suite.
+//
+//   - DynamicNetwork runs the height-based (Gafni–Bertsekas pair) protocol
+//     over a topology that changes at runtime: links can be added and failed
+//     while the node goroutines keep running, and a height ceiling detects
+//     components cut off from the destination (TORA-style partition
+//     suspicion), surfaced as ErrHeightCeiling.
+//
+// # Safety under asynchrony
+//
+// In Run, every edge direction is changed only by the endpoint the edge
+// currently points toward (sinks reverse incoming edges), and the reversal
+// is announced to the other endpoint with a message. A node's view of an
+// incident edge can therefore err in only one direction: it may believe the
+// edge is outgoing while a not-yet-delivered message says it is incoming.
+// Believing "incoming" is always truthful. A node that sees every incident
+// edge incoming really is a sink, so each step it takes satisfies the
+// sequential automaton's precondition, and the real-time order of steps is
+// a legal sequential execution. Quiescence is detected by counting
+// in-flight messages: when no messages are pending, every view is exact,
+// so "no node believes it is a sink" implies global quiescence.
+//
+// In DynamicNetwork the same one-sided-error argument holds for heights:
+// a node's stored copy of a neighbour's height is a lower bound (heights
+// only increase, and link-up snapshots are exchanged by message), and an
+// edge points toward the lexicographically smaller endpoint, so "all my
+// neighbours are above me" in the view implies it in truth.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"linkreversal/internal/graph"
+)
+
+// Algorithm selects the distributed protocol variant executed by Run.
+type Algorithm int
+
+const (
+	// FullReversal is asynchronous Full Reversal (Gafni & Bertsekas): a
+	// sink reverses all incident edges.
+	FullReversal Algorithm = iota + 1
+	// PartialReversal is asynchronous list-based Partial Reversal
+	// (Algorithm 1 of the paper, restricted to single-node steps): a sink
+	// reverses the edges to the neighbours that have not reversed toward it
+	// since its last step.
+	PartialReversal
+	// StaticPartialReversal is the asynchronous form of the paper's static
+	// reformulation NewPR (Algorithm 2): a sink reverses its initial
+	// in-neighbours on even-parity steps and its initial out-neighbours on
+	// odd-parity steps.
+	StaticPartialReversal
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case FullReversal:
+		return "dist-FR"
+	case PartialReversal:
+		return "dist-PR"
+	case StaticPartialReversal:
+		return "dist-NewPR"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Errors returned by the dist engines.
+var (
+	// ErrUnknownAlgorithm is returned by Run for an unrecognized Algorithm.
+	ErrUnknownAlgorithm = errors.New("dist: unknown algorithm")
+	// ErrHeightCeiling is returned by DynamicNetwork.AwaitQuiescence when a
+	// region's heights climbed past the partition-detection ceiling: nodes
+	// cut off from the destination reverse forever, so unbounded height
+	// growth is the distributed signature of a partition.
+	ErrHeightCeiling = errors.New("dist: heights exceeded the partition-detection ceiling (suspected partition)")
+	// ErrStopped is returned by DynamicNetwork operations after Stop.
+	ErrStopped = errors.New("dist: network stopped")
+	// ErrUnknownNode is returned for node IDs outside the network.
+	ErrUnknownNode = errors.New("dist: unknown node")
+	// ErrSelfLink is returned for links from a node to itself.
+	ErrSelfLink = errors.New("dist: self links are not allowed")
+	// ErrLinkExists is returned by AddLink for a link that is present.
+	ErrLinkExists = errors.New("dist: link already exists")
+	// ErrNoSuchLink is returned by FailLink for a link that is absent.
+	ErrNoSuchLink = errors.New("dist: no such link")
+	// ErrStepLimit is returned by Run if the protocol somehow exceeds its
+	// step budget without quiescing; it indicates an engine bug, not a
+	// property of the algorithms.
+	ErrStepLimit = errors.New("dist: step limit exceeded before quiescence")
+)
+
+// Stats aggregates the work and communication cost of a run.
+type Stats struct {
+	// Messages is the number of protocol messages sent (one per reversed
+	// edge in Run; one height announcement per live neighbour per step in
+	// DynamicNetwork).
+	Messages int
+	// Steps is the number of node steps taken (including NewPR's dummy
+	// parity-fixing steps).
+	Steps int
+	// TotalReversals is the number of individual edge reversals.
+	TotalReversals int
+}
+
+// Result is the outcome of a quiesced Run.
+type Result struct {
+	// Final is the orientation after quiescence.
+	Final *graph.Orientation
+	// Stats aggregates message and work counts.
+	Stats Stats
+	// Trace is the global linearization of node steps, in the real-time
+	// order the steps were taken. Replaying it on the matching sequential
+	// automaton (internal/core) reproduces Final exactly.
+	Trace []graph.NodeID
+}

@@ -1,0 +1,563 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/workload"
+)
+
+// dynKind discriminates DynamicNetwork messages.
+type dynKind int
+
+const (
+	// dynStart is the one-shot startup token: evaluate the initial state.
+	dynStart dynKind = iota + 1
+	// dynHeight carries the sender's current height.
+	dynHeight
+	// dynLinkUp tells the receiver it gained the link to Peer.
+	dynLinkUp
+	// dynLinkDown tells the receiver it lost the link to Peer.
+	dynLinkDown
+	// dynPoke asks a ceiling-suspended node to re-evaluate after the
+	// control plane raised the ceiling.
+	dynPoke
+)
+
+// dynMsg is a DynamicNetwork protocol or control message.
+type dynMsg struct {
+	Kind dynKind
+	Peer graph.NodeID
+	H    core.Height
+}
+
+// nbrView is a node's knowledge about one live neighbour.
+type nbrView struct {
+	h     core.Height
+	known bool
+}
+
+// DynamicNetwork runs the height-based Partial Reversal protocol
+// (Gafni–Bertsekas pair heights) with one goroutine per node over a
+// topology that changes at runtime. Links are added and failed through the
+// control-plane methods; nodes learn about changes via messages, exactly
+// like they learn about neighbour heights.
+//
+// Heights only grow, so a component cut off from the destination reverses
+// forever. The network tracks a height ceiling: a node whose next height
+// would exceed it suspends instead of stepping, and AwaitQuiescence reports
+// the suspension as ErrHeightCeiling — the suspected-partition signal.
+// Healing the partition with AddLink raises the ceiling and wakes the
+// suspended nodes, letting the merged component converge.
+type DynamicNetwork struct {
+	// ctl serializes the control-plane operations AddLink and FailLink so
+	// that each adjacency update and its LinkUp/LinkDown injections form
+	// one atomic unit: without it, two concurrent calls on the same edge
+	// could deliver their messages in the opposite order of their
+	// adjacency updates and desync the nodes' neighbour views from adj.
+	// ctl is never held while mu is needed by the node goroutines' hot
+	// path, and injections must not run under mu (a full mailbox ingress
+	// could then deadlock against a node waiting for mu).
+	ctl  sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	n    int
+	dest graph.NodeID
+	// adj is the control plane's authoritative current link set.
+	adj map[graph.Edge]bool
+	// heights mirrors every node's current height (updated by the node
+	// under mu at step time), so snapshots and ceiling maintenance need no
+	// extra message round.
+	heights []core.Height
+	// suspended marks nodes parked at the height ceiling.
+	suspended []bool
+	inflight  int
+	stats     Stats
+	ceiling   int
+	slack     int
+	stopped   bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	tx       []chan dynMsg
+}
+
+// NewDynamicNetwork starts the goroutine-per-node protocol on topo's graph,
+// with initial heights chosen so the derived link directions equal topo's
+// initial orientation. Call AwaitQuiescence before reading a Snapshot, and
+// Stop when done.
+func NewDynamicNetwork(topo *workload.Topology) (*DynamicNetwork, error) {
+	in, err := topo.Init()
+	if err != nil {
+		return nil, err
+	}
+	n := topo.Graph.NumNodes()
+	d := &DynamicNetwork{
+		n:         n,
+		dest:      topo.Dest,
+		adj:       make(map[graph.Edge]bool, topo.Graph.NumEdges()),
+		heights:   make([]core.Height, n),
+		suspended: make([]bool, n),
+		inflight:  n, // one start token per node
+		slack:     8*n + 64,
+		stop:      make(chan struct{}),
+		tx:        make([]chan dynMsg, n),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.ceiling = d.slack
+	for u := 0; u < n; u++ {
+		id := graph.NodeID(u)
+		d.heights[u] = core.Height{A: 0, B: -in.Embedding().Pos(id), ID: id}
+		d.tx[u] = make(chan dynMsg, mailboxCap)
+	}
+	for _, e := range topo.Graph.Edges() {
+		d.adj[e] = true
+	}
+	for u := 0; u < n; u++ {
+		nd := &dynNode{
+			net:     d,
+			id:      graph.NodeID(u),
+			h:       d.heights[u],
+			nbrs:    make(map[graph.NodeID]nbrView),
+			pending: make(map[graph.NodeID]core.Height),
+			rx:      make(chan dynMsg),
+		}
+		// The initial topology and heights are common knowledge at startup:
+		// every node knows its neighbours' initial heights, exactly as the
+		// sequential engines assume a globally known initial orientation.
+		for _, v := range topo.Graph.Neighbors(nd.id) {
+			nd.nbrs[v] = nbrView{h: d.heights[v], known: true}
+		}
+		d.wg.Add(2)
+		go func(in <-chan dynMsg, out chan<- dynMsg) {
+			defer d.wg.Done()
+			mailbox(in, out, d.stop)
+		}(d.tx[u], nd.rx)
+		go nd.loop()
+	}
+	return d, nil
+}
+
+// dynNode is the per-goroutine state of one DynamicNetwork participant.
+type dynNode struct {
+	net *DynamicNetwork
+	id  graph.NodeID
+	h   core.Height
+	// nbrs holds the current live neighbours and the freshest height heard
+	// from each. Stored heights are lower bounds of the true heights.
+	nbrs map[graph.NodeID]nbrView
+	// pending buffers heights that arrived from nodes not currently
+	// neighbours (late or early deliveries around link churn); they are
+	// merged if the link (re)appears. Heights are monotone, so a stale
+	// entry is still a valid lower bound.
+	pending map[graph.NodeID]core.Height
+	// parked mirrors net.suspended[id] locally so the per-message fast
+	// path (not a sink, never suspended) needs no lock.
+	parked bool
+	rx     chan dynMsg
+}
+
+// send delivers m to v's mailbox, giving up on shutdown.
+func (nd *dynNode) send(v graph.NodeID, m dynMsg) {
+	select {
+	case nd.net.tx[v] <- m:
+	case <-nd.net.stop:
+	}
+}
+
+// merge records h as v's height if it improves on the current knowledge.
+func mergeHeight(view nbrView, h core.Height) nbrView {
+	if !view.known || view.h.Less(h) {
+		return nbrView{h: h, known: true}
+	}
+	return view
+}
+
+// viewSink reports whether this node believes it is an enabled sink: every
+// live neighbour's height is known and lexicographically above its own.
+func (nd *dynNode) viewSink() bool {
+	if nd.id == nd.net.dest || len(nd.nbrs) == 0 {
+		return false
+	}
+	for _, view := range nd.nbrs {
+		if !view.known || view.h.Less(nd.h) || view.h == nd.h {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateA is the GB partial-reversal a-update over the current view.
+func (nd *dynNode) candidateA() int {
+	first := true
+	minA := 0
+	for _, view := range nd.nbrs {
+		if first || view.h.A < minA {
+			minA = view.h.A
+			first = false
+		}
+	}
+	return minA + 1
+}
+
+// act steps while this node is a view-sink and the next height stays under
+// the ceiling; if the ceiling blocks a step the node suspends until new
+// information arrives. It returns with the node's suspension mirror up to
+// date.
+func (nd *dynNode) act() {
+	net := nd.net
+	for {
+		if !nd.viewSink() {
+			if nd.parked {
+				net.mu.Lock()
+				net.suspended[nd.id] = false
+				net.mu.Unlock()
+				nd.parked = false
+			}
+			return
+		}
+		newA := nd.candidateA()
+		net.mu.Lock()
+		if newA > net.ceiling {
+			net.suspended[nd.id] = true
+			net.mu.Unlock()
+			nd.parked = true
+			return
+		}
+		// GB pair rule: b := min{b[v] : a[v] = newA} − 1 when such a
+		// neighbour exists, else b is unchanged.
+		newB := nd.h.B
+		foundB := false
+		for _, view := range nd.nbrs {
+			if view.h.A != newA {
+				continue
+			}
+			if cand := view.h.B - 1; !foundB || cand < newB {
+				newB = cand
+				foundB = true
+			}
+		}
+		newH := core.Height{A: newA, B: newB, ID: nd.id}
+		flips := 0
+		for _, view := range nd.nbrs {
+			if view.h.Less(newH) {
+				flips++
+			}
+		}
+		nd.h = newH
+		net.heights[nd.id] = newH
+		net.suspended[nd.id] = false
+		net.stats.Steps++
+		net.stats.TotalReversals += flips
+		net.stats.Messages += len(nd.nbrs)
+		net.inflight += len(nd.nbrs)
+		net.mu.Unlock()
+		nd.parked = false
+		for v := range nd.nbrs {
+			nd.send(v, dynMsg{Kind: dynHeight, Peer: nd.id, H: newH})
+		}
+	}
+}
+
+// handle processes one message and re-evaluates the node's protocol state.
+func (nd *dynNode) handle(m dynMsg) {
+	switch m.Kind {
+	case dynStart, dynPoke:
+		// Nothing to record; act below re-evaluates.
+	case dynHeight:
+		if view, ok := nd.nbrs[m.Peer]; ok {
+			nd.nbrs[m.Peer] = mergeHeight(view, m.H)
+		} else if cur, ok := nd.pending[m.Peer]; !ok || cur.Less(m.H) {
+			nd.pending[m.Peer] = m.H
+		}
+	case dynLinkUp:
+		view := nbrView{}
+		if h, ok := nd.pending[m.Peer]; ok {
+			view = nbrView{h: h, known: true}
+			delete(nd.pending, m.Peer)
+		}
+		nd.nbrs[m.Peer] = view
+		// Introduce ourselves so the peer can orient the new link.
+		nd.net.mu.Lock()
+		nd.net.stats.Messages++
+		nd.net.inflight++
+		nd.net.mu.Unlock()
+		nd.send(m.Peer, dynMsg{Kind: dynHeight, Peer: nd.id, H: nd.h})
+	case dynLinkDown:
+		delete(nd.nbrs, m.Peer)
+	}
+	nd.act()
+}
+
+// loop is the node goroutine: consume the start token, then serve messages
+// until shutdown.
+func (nd *dynNode) loop() {
+	defer nd.net.wg.Done()
+	nd.handle(dynMsg{Kind: dynStart})
+	nd.net.retire(1)
+	for {
+		select {
+		case <-nd.net.stop:
+			return
+		case m := <-nd.rx:
+			nd.handle(m)
+			nd.net.retire(1)
+		}
+	}
+}
+
+// retire returns n in-flight tokens and wakes AwaitQuiescence waiters when
+// the network drains.
+func (d *DynamicNetwork) retire(n int) {
+	d.mu.Lock()
+	d.inflight -= n
+	if d.inflight == 0 {
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+func (d *DynamicNetwork) validLink(u, v graph.NodeID) error {
+	if int(u) < 0 || int(u) >= d.n || int(v) < 0 || int(v) >= d.n {
+		return fmt.Errorf("%w: {%d,%d}", ErrUnknownNode, u, v)
+	}
+	if u == v {
+		return fmt.Errorf("%w: %d", ErrSelfLink, u)
+	}
+	return nil
+}
+
+// maxALocked returns the largest a-component currently held by any node.
+// Callers must hold mu.
+func (d *DynamicNetwork) maxALocked() int {
+	maxA := 0
+	for _, h := range d.heights {
+		if h.A > maxA {
+			maxA = h.A
+		}
+	}
+	return maxA
+}
+
+// AddLink inserts the link {u,v}. The endpoints learn of it by message and
+// exchange heights to orient it, so acyclicity is preserved
+// unconditionally. AddLink is also the healing action after a suspected
+// partition: it raises the height ceiling above the current maximum and
+// wakes every ceiling-suspended node.
+func (d *DynamicNetwork) AddLink(u, v graph.NodeID) error {
+	if err := d.validLink(u, v); err != nil {
+		return err
+	}
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	e := graph.NormalizedEdge(u, v)
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return ErrStopped
+	}
+	if d.adj[e] {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: {%d,%d}", ErrLinkExists, e.U, e.V)
+	}
+	d.adj[e] = true
+	if c := d.maxALocked() + d.slack; c > d.ceiling {
+		d.ceiling = c
+	}
+	var pokes []graph.NodeID
+	for id, s := range d.suspended {
+		if s {
+			pokes = append(pokes, graph.NodeID(id))
+		}
+	}
+	d.inflight += 2 + len(pokes)
+	d.mu.Unlock()
+	d.inject(u, dynMsg{Kind: dynLinkUp, Peer: v})
+	d.inject(v, dynMsg{Kind: dynLinkUp, Peer: u})
+	for _, id := range pokes {
+		d.inject(id, dynMsg{Kind: dynPoke})
+	}
+	return nil
+}
+
+// FailLink removes the link {u,v}. The endpoints learn of it by message;
+// a node that loses its last outgoing link becomes a sink and repairs via
+// partial reversal.
+func (d *DynamicNetwork) FailLink(u, v graph.NodeID) error {
+	if err := d.validLink(u, v); err != nil {
+		return err
+	}
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	e := graph.NormalizedEdge(u, v)
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return ErrStopped
+	}
+	if !d.adj[e] {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: {%d,%d}", ErrNoSuchLink, e.U, e.V)
+	}
+	delete(d.adj, e)
+	d.inflight += 2
+	d.mu.Unlock()
+	d.inject(u, dynMsg{Kind: dynLinkDown, Peer: v})
+	d.inject(v, dynMsg{Kind: dynLinkDown, Peer: u})
+	return nil
+}
+
+// inject delivers a control message from the control plane to id's
+// mailbox. The in-flight token was accounted by the caller under mu, so
+// AwaitQuiescence cannot report quiescence before the message is handled.
+func (d *DynamicNetwork) inject(id graph.NodeID, m dynMsg) {
+	select {
+	case d.tx[id] <- m:
+	case <-d.stop:
+	}
+}
+
+// AwaitQuiescence blocks until no node wants to step and no message is in
+// flight. It returns nil on clean quiescence (and raises the height
+// ceiling above the settled heights, giving subsequent churn fresh
+// headroom), ErrHeightCeiling on a suspected partition, and ErrStopped
+// after Stop.
+//
+// A partition is suspected when any node is parked at the height ceiling
+// (a multi-node component cut off from the destination reverses forever,
+// so its heights climb past any bound) or when a non-destination node has
+// no links at all (a degree-zero node never becomes a sink, but it is cut
+// off just the same). Reporting both cases keeps the healing contract
+// simple: as long as the caller repairs the link named by the failing
+// event — the E11 pattern — the network is destination-connected after
+// every event, and destination-less islands can never accrete silently.
+func (d *DynamicNetwork) AwaitQuiescence() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.inflight > 0 && !d.stopped {
+		d.cond.Wait()
+	}
+	if d.stopped {
+		return ErrStopped
+	}
+	for _, s := range d.suspended {
+		if s {
+			return ErrHeightCeiling
+		}
+	}
+	degree := make([]int, d.n)
+	for e := range d.adj {
+		degree[e.U]++
+		degree[e.V]++
+	}
+	for u, deg := range degree {
+		if deg == 0 && graph.NodeID(u) != d.dest {
+			return fmt.Errorf("%w: node %d has no links", ErrHeightCeiling, u)
+		}
+	}
+	if c := d.maxALocked() + d.slack; c > d.ceiling {
+		d.ceiling = c
+	}
+	return nil
+}
+
+// Stop terminates every node goroutine and waits for them to exit. It is
+// idempotent and wakes any AwaitQuiescence caller with ErrStopped.
+func (d *DynamicNetwork) Stop() {
+	d.stopOnce.Do(func() {
+		d.mu.Lock()
+		d.stopped = true
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		close(d.stop)
+	})
+	d.wg.Wait()
+}
+
+// Snapshot is the observed global state of a DynamicNetwork: cumulative
+// cost counters plus the heights and links from which every edge direction
+// derives. Snapshots taken at quiescence (after a nil AwaitQuiescence) are
+// consistent global states; snapshots taken mid-flight are a coherent view
+// of the mirrors but may predate in-flight updates.
+type Snapshot struct {
+	// Steps, Messages and TotalReversals are cumulative since the network
+	// started.
+	Steps          int
+	Messages       int
+	TotalReversals int
+	// Dest is the destination node.
+	Dest graph.NodeID
+	// Heights holds every node's height; edge {u,v} points from the
+	// lexicographically larger to the smaller endpoint.
+	Heights []core.Height
+	adj     [][]graph.NodeID
+}
+
+// Snapshot captures the network's current global state.
+func (d *DynamicNetwork) Snapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := &Snapshot{
+		Steps:          d.stats.Steps,
+		Messages:       d.stats.Messages,
+		TotalReversals: d.stats.TotalReversals,
+		Dest:           d.dest,
+		Heights:        make([]core.Height, d.n),
+		adj:            make([][]graph.NodeID, d.n),
+	}
+	copy(s.Heights, d.heights)
+	for e := range d.adj {
+		s.adj[e.U] = append(s.adj[e.U], e.V)
+		s.adj[e.V] = append(s.adj[e.V], e.U)
+	}
+	for _, nbrs := range s.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	return s
+}
+
+// Links returns the snapshot's live neighbours of u in ascending order.
+func (s *Snapshot) Links(u graph.NodeID) []graph.NodeID {
+	if int(u) < 0 || int(u) >= len(s.adj) {
+		return nil
+	}
+	return s.adj[u]
+}
+
+// RouteFrom follows strictly decreasing heights from src toward dst and
+// returns the path if dst is reached within maxHops links. Heights totally
+// order the nodes, so the walk is loop-free by construction; at quiescence
+// it reaches the destination from every node in its component.
+func (s *Snapshot) RouteFrom(src, dst graph.NodeID, maxHops int) ([]graph.NodeID, bool) {
+	if int(src) < 0 || int(src) >= len(s.adj) || int(dst) < 0 || int(dst) >= len(s.adj) {
+		return nil, false
+	}
+	path := []graph.NodeID{src}
+	cur := src
+	for hops := 0; hops <= maxHops; hops++ {
+		if cur == dst {
+			return path, true
+		}
+		if hops == maxHops {
+			return nil, false
+		}
+		// Forward to the lowest-height lower neighbour.
+		best := cur
+		for _, v := range s.adj[cur] {
+			if s.Heights[v].Less(s.Heights[cur]) && (best == cur || s.Heights[v].Less(s.Heights[best])) {
+				best = v
+			}
+		}
+		if best == cur {
+			return nil, false
+		}
+		path = append(path, best)
+		cur = best
+	}
+	return nil, false
+}

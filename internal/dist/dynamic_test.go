@@ -1,0 +1,313 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"linkreversal/internal/graph"
+	"linkreversal/internal/workload"
+)
+
+// requireRoutes asserts that every node of the snapshot's destination
+// component reaches dst by following decreasing heights.
+func requireRoutes(t *testing.T, s *Snapshot, n int, dst graph.NodeID) {
+	t.Helper()
+	for u := 0; u < n; u++ {
+		id := graph.NodeID(u)
+		if len(s.Links(id)) == 0 && id != dst {
+			continue // isolated nodes have no route by definition
+		}
+		if _, ok := s.RouteFrom(id, dst, n+1); !ok {
+			t.Errorf("no route %d → %d", u, dst)
+		}
+	}
+}
+
+// TestDynamicInitialConvergence starts the network on assorted topologies
+// and checks that it quiesces with a route from every node.
+func TestDynamicInitialConvergence(t *testing.T) {
+	for _, topo := range []*workload.Topology{
+		workload.BadChain(10),
+		workload.Star(9),
+		workload.Grid(3, 4),
+		workload.RandomConnected(16, 0.25, 5),
+	} {
+		topo := topo
+		t.Run(topo.Name, func(t *testing.T) {
+			t.Parallel()
+			net, err := NewDynamicNetwork(topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer net.Stop()
+			if err := net.AwaitQuiescence(); err != nil {
+				t.Fatal(err)
+			}
+			s := net.Snapshot()
+			requireRoutes(t, s, topo.Graph.NumNodes(), topo.Dest)
+			if s.Messages < s.TotalReversals {
+				t.Errorf("messages %d < reversals %d", s.Messages, s.TotalReversals)
+			}
+		})
+	}
+}
+
+// TestDynamicChurnHeals drives random link failures and recoveries with
+// quiescence between events; routes must survive every repair.
+func TestDynamicChurnHeals(t *testing.T) {
+	topo := workload.RandomConnected(12, 0.3, 3)
+	net, err := NewDynamicNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	edges := topo.Graph.Edges()
+	removed := make(map[graph.Edge]bool)
+	for i := 0; i < 40; i++ {
+		e := edges[rng.Intn(len(edges))]
+		if removed[e] {
+			if err := net.AddLink(e.U, e.V); err != nil {
+				t.Fatalf("event %d add: %v", i, err)
+			}
+			delete(removed, e)
+		} else {
+			if err := net.FailLink(e.U, e.V); err != nil {
+				t.Fatalf("event %d fail: %v", i, err)
+			}
+			removed[e] = true
+		}
+		if err := net.AwaitQuiescence(); err != nil {
+			if errors.Is(err, ErrHeightCeiling) {
+				// The failure cut the graph: heal and continue.
+				if err := net.AddLink(e.U, e.V); err != nil {
+					t.Fatalf("event %d heal: %v", i, err)
+				}
+				delete(removed, e)
+				if err := net.AwaitQuiescence(); err != nil && !errors.Is(err, ErrHeightCeiling) {
+					t.Fatalf("event %d after heal: %v", i, err)
+				}
+				continue
+			}
+			t.Fatalf("event %d await: %v", i, err)
+		}
+	}
+	// Restore every removed link and require full routing.
+	for e := range removed {
+		if err := net.AddLink(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	requireRoutes(t, net.Snapshot(), topo.Graph.NumNodes(), topo.Dest)
+}
+
+// TestDynamicPartitionDetectionAndHeal cuts a chain in the middle: the
+// orphaned half climbs to the height ceiling and AwaitQuiescence reports a
+// suspected partition; re-adding the link must heal back to clean
+// quiescence with routes restored. This is the E11DistributedChurn path
+// end to end.
+func TestDynamicPartitionDetectionAndHeal(t *testing.T) {
+	topo := workload.GoodChain(6)
+	net, err := NewDynamicNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AwaitQuiescence(); !errors.Is(err, ErrHeightCeiling) {
+		t.Fatalf("await after cut = %v, want ErrHeightCeiling", err)
+	}
+	if err := net.AddLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatalf("await after heal: %v", err)
+	}
+	s := net.Snapshot()
+	requireRoutes(t, s, topo.Graph.NumNodes(), topo.Dest)
+}
+
+// TestDynamicIsolatedNodeIsSuspectedPartition documents the degree-zero
+// case: a node with no links never becomes a sink, so it cannot climb to
+// the ceiling — but it is cut off from the destination all the same and
+// AwaitQuiescence must say so, or destination-less islands could accrete
+// from later AddLinks between quiesced singletons.
+func TestDynamicIsolatedNodeIsSuspectedPartition(t *testing.T) {
+	topo := workload.Star(5)
+	net, err := NewDynamicNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLink(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AwaitQuiescence(); !errors.Is(err, ErrHeightCeiling) {
+		t.Fatalf("await with isolated leaf = %v, want ErrHeightCeiling", err)
+	}
+	s := net.Snapshot()
+	if _, ok := s.RouteFrom(4, 0, 10); ok {
+		t.Error("isolated leaf should have no route")
+	}
+	if _, ok := s.RouteFrom(3, 0, 10); !ok {
+		t.Error("connected leaf lost its route")
+	}
+	if err := net.AddLink(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatalf("await after re-attach: %v", err)
+	}
+}
+
+// TestDynamicAddsNewLink adds a chord that was never part of the original
+// graph; the endpoints exchange heights to orient it and the network stays
+// quiescent and routable.
+func TestDynamicAddsNewLink(t *testing.T) {
+	topo := workload.GoodChain(6)
+	net, err := NewDynamicNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Snapshot()
+	path, ok := s.RouteFrom(5, 0, 10)
+	if !ok {
+		t.Fatal("no route after chord insertion")
+	}
+	if len(path) != 2 {
+		t.Errorf("route 5→0 = %v, want the direct chord", path)
+	}
+}
+
+// TestDynamicConcurrentControlPlane hammers the same link from two
+// goroutines. Individual calls may lose the race (ErrLinkExists /
+// ErrNoSuchLink), but the adjacency map and the nodes' neighbour views
+// must never desync: once the link is settled present, the network must
+// quiesce cleanly with full routes. Removing a rim edge of the wheel never
+// cuts the graph, so any ErrHeightCeiling here would be view corruption.
+func TestDynamicConcurrentControlPlane(t *testing.T) {
+	topo := workload.Wheel(8)
+	net, err := NewDynamicNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	const u, v = 1, 2
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := net.FailLink(u, v); err != nil && !errors.Is(err, ErrNoSuchLink) {
+					t.Errorf("fail: %v", err)
+				}
+				if err := net.AddLink(u, v); err != nil && !errors.Is(err, ErrLinkExists) {
+					t.Errorf("add: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := net.AddLink(u, v); err != nil && !errors.Is(err, ErrLinkExists) {
+		t.Fatal(err)
+	}
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatalf("await after concurrent churn: %v", err)
+	}
+	requireRoutes(t, net.Snapshot(), topo.Graph.NumNodes(), topo.Dest)
+}
+
+// TestDynamicLinkValidation exercises the control-plane error paths.
+func TestDynamicLinkValidation(t *testing.T) {
+	net, err := NewDynamicNetwork(workload.GoodChain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if err := net.AddLink(0, 0); !errors.Is(err, ErrSelfLink) {
+		t.Errorf("self link err = %v", err)
+	}
+	if err := net.AddLink(0, 99); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node err = %v", err)
+	}
+	if err := net.AddLink(0, 1); !errors.Is(err, ErrLinkExists) {
+		t.Errorf("duplicate link err = %v", err)
+	}
+	if err := net.FailLink(0, 2); !errors.Is(err, ErrNoSuchLink) {
+		t.Errorf("absent link err = %v", err)
+	}
+}
+
+// TestDynamicStop checks Stop is idempotent and fails later operations.
+func TestDynamicStop(t *testing.T) {
+	net, err := NewDynamicNetwork(workload.GoodChain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	net.Stop()
+	net.Stop()
+	if err := net.AddLink(0, 2); !errors.Is(err, ErrStopped) {
+		t.Errorf("AddLink after Stop = %v, want ErrStopped", err)
+	}
+	if err := net.FailLink(0, 1); !errors.Is(err, ErrStopped) {
+		t.Errorf("FailLink after Stop = %v, want ErrStopped", err)
+	}
+	if err := net.AwaitQuiescence(); !errors.Is(err, ErrStopped) {
+		t.Errorf("AwaitQuiescence after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestSnapshotRouteFromEdgeCases pins RouteFrom's boundary behaviour.
+func TestSnapshotRouteFromEdgeCases(t *testing.T) {
+	net, err := NewDynamicNetwork(workload.GoodChain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Stop()
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Snapshot()
+	if path, ok := s.RouteFrom(2, 2, 0); !ok || len(path) != 1 {
+		t.Errorf("self route = %v, %v", path, ok)
+	}
+	if _, ok := s.RouteFrom(3, 0, 1); ok {
+		t.Error("route should not fit in one hop")
+	}
+	if _, ok := s.RouteFrom(-1, 0, 5); ok {
+		t.Error("invalid source accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package dist
+
+// mailboxCap is the buffer size of a mailbox's ingress channel. Senders
+// block only while the pump goroutine is momentarily descheduled; the pump
+// itself never blocks on ingress, so there is no deadlock cycle regardless
+// of traffic pattern.
+const mailboxCap = 64
+
+// mailbox pumps messages from a bounded ingress channel into an unbounded
+// in-memory queue and hands them to the node in FIFO order. One mailbox
+// goroutine runs per node; it exits when stop is closed.
+//
+// The pump decouples senders from receivers: a node goroutine busy taking a
+// step never blocks its neighbours' sends, which is what rules out the
+// send/receive deadlock cycles a direct node-to-node buffered channel mesh
+// would allow.
+func mailbox[M any](in <-chan M, out chan<- M, stop <-chan struct{}) {
+	var queue []M
+	for {
+		if len(queue) == 0 {
+			select {
+			case m := <-in:
+				queue = append(queue, m)
+			case <-stop:
+				return
+			}
+			continue
+		}
+		select {
+		case m := <-in:
+			queue = append(queue, m)
+		case out <- queue[0]:
+			queue = queue[1:]
+		case <-stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+)
+
+// reverseMsg announces that From reversed the shared edge, which now points
+// toward the receiver. It is the only message kind of the static engine:
+// for the height-based variants it plays the role of the height
+// announcement, and for list-based PR it additionally means "add From to
+// your list".
+type reverseMsg struct {
+	From graph.NodeID
+}
+
+// runEngine is the shared state of one Run invocation. All mutable fields
+// are guarded by mu; the channels coordinate shutdown and quiescence.
+type runEngine struct {
+	mu       sync.Mutex
+	inflight int
+	stats    Stats
+	trace    []graph.NodeID
+	failure  error
+
+	stepLimit int
+	quietOnce sync.Once
+	quiet     chan struct{} // closed when inflight first reaches zero
+	stop      chan struct{} // closed to terminate all goroutines
+	wg        sync.WaitGroup
+
+	// tx[u] is the ingress channel of u's mailbox.
+	tx []chan reverseMsg
+}
+
+// announce marks the beginning of a step by node u that reverses the edges
+// to targets: it appends the step to the global linearization, updates the
+// statistics, and accounts one in-flight message per target. The caller
+// must send the messages (via send) after announce returns. Recording
+// before sending is what makes the trace a legal sequential execution: any
+// later step enabled by one of these reversals happens after its message is
+// delivered, hence after this append.
+func (e *runEngine) announce(u graph.NodeID, targets int) {
+	e.mu.Lock()
+	e.trace = append(e.trace, u)
+	e.stats.Steps++
+	e.stats.TotalReversals += targets
+	e.stats.Messages += targets
+	e.inflight += targets
+	if e.stats.Steps > e.stepLimit && e.failure == nil {
+		e.failure = fmt.Errorf("%w: %d steps", ErrStepLimit, e.stats.Steps)
+		e.quietOnce.Do(func() { close(e.quiet) })
+	}
+	e.mu.Unlock()
+}
+
+// done retires n in-flight tokens and closes quiet when none remain. A
+// token is retired only after its receiver has fully processed the message
+// (including any steps it triggered), so inflight == 0 implies every view
+// is exact and no node is a sink: global quiescence.
+func (e *runEngine) done(n int) {
+	e.mu.Lock()
+	e.inflight -= n
+	if e.inflight == 0 {
+		e.quietOnce.Do(func() { close(e.quiet) })
+	}
+	e.mu.Unlock()
+}
+
+// send delivers m to node v's mailbox, giving up if the engine stops.
+func (e *runEngine) send(v graph.NodeID, m reverseMsg) {
+	select {
+	case e.tx[v] <- m:
+	case <-e.stop:
+	}
+}
+
+// runNode is the per-goroutine state of one protocol participant.
+type runNode struct {
+	eng  *runEngine
+	id   graph.NodeID
+	dest graph.NodeID
+	alg  Algorithm
+	// nbrs is the fixed neighbourhood in G.
+	nbrs []graph.NodeID
+	// incoming[v] is this node's view of edge {id, v}: true if it points
+	// toward id. Views marked incoming are always truthful; views marked
+	// outgoing may lag behind an undelivered reverseMsg.
+	incoming map[graph.NodeID]bool
+	// list is PR's list[u]: neighbours that reversed toward this node since
+	// its last step.
+	list map[graph.NodeID]bool
+	// count is NewPR's step counter; its parity selects the reversal set.
+	count int
+	// initIn and initOut are NewPR's immutable initial neighbour sets.
+	initIn, initOut []graph.NodeID
+	rx              chan reverseMsg
+}
+
+func newRunNode(eng *runEngine, in *core.Init, alg Algorithm, id graph.NodeID, initial *graph.Orientation) *runNode {
+	nbrs := in.Graph().Neighbors(id)
+	nd := &runNode{
+		eng:      eng,
+		id:       id,
+		dest:     in.Destination(),
+		alg:      alg,
+		nbrs:     nbrs,
+		incoming: make(map[graph.NodeID]bool, len(nbrs)),
+		rx:       make(chan reverseMsg),
+	}
+	for _, v := range nbrs {
+		nd.incoming[v] = initial.PointsTo(v, id)
+	}
+	switch alg {
+	case PartialReversal:
+		nd.list = make(map[graph.NodeID]bool, len(nbrs))
+	case StaticPartialReversal:
+		nd.initIn = in.InNbrs(id)
+		nd.initOut = in.OutNbrs(id)
+	}
+	return nd
+}
+
+// viewSink reports whether this node believes it is an enabled sink: not
+// the destination, at least one neighbour, and every incident edge
+// incoming in its view.
+func (nd *runNode) viewSink() bool {
+	if nd.id == nd.dest || len(nd.nbrs) == 0 {
+		return false
+	}
+	for _, v := range nd.nbrs {
+		if !nd.incoming[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// reversalSet returns the neighbours whose edges this step reverses,
+// following the variant's rule. For PR and NewPR the returned set may need
+// post-step bookkeeping, handled in step.
+func (nd *runNode) reversalSet() []graph.NodeID {
+	switch nd.alg {
+	case FullReversal:
+		return nd.nbrs
+	case PartialReversal:
+		if len(nd.list) == len(nd.nbrs) {
+			return nd.nbrs
+		}
+		targets := make([]graph.NodeID, 0, len(nd.nbrs)-len(nd.list))
+		for _, v := range nd.nbrs {
+			if !nd.list[v] {
+				targets = append(targets, v)
+			}
+		}
+		return targets
+	case StaticPartialReversal:
+		if nd.count%2 == 0 {
+			return nd.initIn
+		}
+		return nd.initOut
+	default:
+		panic(fmt.Sprintf("dist: reversalSet on %v", nd.alg))
+	}
+}
+
+// step performs one reversal step. The caller has checked viewSink, so
+// every incident edge truly points toward this node and the reversals
+// below are valid automaton transitions.
+func (nd *runNode) step() {
+	targets := nd.reversalSet()
+	nd.eng.announce(nd.id, len(targets))
+	for _, v := range targets {
+		nd.incoming[v] = false
+	}
+	switch nd.alg {
+	case PartialReversal:
+		nd.list = make(map[graph.NodeID]bool, len(nd.nbrs))
+	case StaticPartialReversal:
+		nd.count++
+	}
+	for _, v := range targets {
+		nd.eng.send(v, reverseMsg{From: nd.id})
+	}
+}
+
+// act steps while this node believes it is a sink. FullReversal and
+// PartialReversal steps always produce an outgoing edge, so the loop runs
+// at most once; StaticPartialReversal may take one dummy parity step first.
+func (nd *runNode) act() {
+	for nd.viewSink() {
+		nd.step()
+	}
+}
+
+// loop is the node goroutine: consume the start token, then serve messages
+// until shutdown.
+func (nd *runNode) loop() {
+	defer nd.eng.wg.Done()
+	nd.act()
+	nd.eng.done(1)
+	for {
+		select {
+		case <-nd.eng.stop:
+			return
+		case m := <-nd.rx:
+			nd.incoming[m.From] = true
+			if nd.list != nil {
+				nd.list[m.From] = true
+			}
+			nd.act()
+			nd.eng.done(1)
+		}
+	}
+}
+
+// Run executes alg on in's topology with one goroutine per node until
+// global quiescence and returns the final orientation, cost statistics and
+// the linearized step trace. It returns ctx.Err() if the context is
+// cancelled first.
+func Run(ctx context.Context, in *core.Init, alg Algorithm) (*Result, error) {
+	switch alg {
+	case FullReversal, PartialReversal, StaticPartialReversal:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, int(alg))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := in.Graph()
+	n := g.NumNodes()
+	eng := &runEngine{
+		// NewPR takes at most one dummy step per real step, and sequential
+		// executions are bounded well under 100·n²+100 steps; double that
+		// budget so hitting the limit can only mean an engine bug.
+		stepLimit: 200*n*n + 200,
+		inflight:  n, // one start token per node
+		quiet:     make(chan struct{}),
+		stop:      make(chan struct{}),
+		tx:        make([]chan reverseMsg, n),
+	}
+	initial := in.InitialOrientation()
+	nodes := make([]*runNode, n)
+	for u := 0; u < n; u++ {
+		nodes[u] = newRunNode(eng, in, alg, graph.NodeID(u), initial)
+		eng.tx[u] = make(chan reverseMsg, mailboxCap)
+	}
+	for u := 0; u < n; u++ {
+		eng.wg.Add(2)
+		nd := nodes[u]
+		go func(in <-chan reverseMsg, out chan<- reverseMsg) {
+			defer eng.wg.Done()
+			mailbox(in, out, eng.stop)
+		}(eng.tx[u], nd.rx)
+		go nd.loop()
+	}
+
+	var ctxErr error
+	select {
+	case <-eng.quiet:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+	}
+	close(eng.stop)
+	eng.wg.Wait()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	// wg.Wait happens-after every node goroutine exit, so reading their
+	// views here is race-free. At quiescence both endpoints agree on every
+	// edge, so either view reconstructs the orientation.
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if eng.failure != nil {
+		return nil, eng.failure
+	}
+	directed := make([][2]graph.NodeID, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		if nodes[e.U].incoming[e.V] {
+			directed = append(directed, [2]graph.NodeID{e.V, e.U})
+		} else {
+			directed = append(directed, [2]graph.NodeID{e.U, e.V})
+		}
+	}
+	final, err := graph.OrientationFromDirected(g, directed)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reassemble final orientation: %w", err)
+	}
+	return &Result{Final: final, Stats: eng.stats, Trace: eng.trace}, nil
+}
