@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lrbench [-quick] [-csv] [-only E4]
+//	lrbench [-quick] [-csv] [-only E4] [-engine sharded]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"os"
 	"strings"
 
+	"linkreversal/internal/dist"
 	"linkreversal/internal/experiments"
 	"linkreversal/internal/trace"
 )
@@ -26,9 +27,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lrbench", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "use the small parameter set")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		only  = fs.String("only", "", "run a single experiment (E1..E8)")
+		quick  = fs.Bool("quick", false, "use the small parameter set")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		only   = fs.String("only", "", "run a single experiment (E1..E8)")
+		engine = fs.String("engine", "both", "dist execution engine for E8: goroutine, sharded or both")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,6 +43,16 @@ func run(args []string) error {
 			Densities:   []float64{0.2, 0.5, 0.8},
 			Seeds:       2,
 		}
+	}
+	switch *engine {
+	case "both":
+		// Suite default: run every engine.
+	case "goroutine":
+		suite.Engines = []dist.Engine{dist.GoroutinePerNode}
+	case "sharded":
+		suite.Engines = []dist.Engine{dist.Sharded}
+	default:
+		return fmt.Errorf("unknown -engine %q (want goroutine, sharded or both)", *engine)
 	}
 	type exp struct {
 		id  string

@@ -2,6 +2,7 @@ package linkreversal_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -49,6 +50,62 @@ func TestRunDistributedAllTopologies(t *testing.T) {
 					t.Errorf("messages %d < reversals %d", rep.Messages, rep.TotalReversals)
 				}
 			})
+		}
+	}
+}
+
+// TestRunDistributedWithSharded pins the sharded engine behind the public
+// API: same invariants as the goroutine engine, identical final
+// orientation, and a batch count bounded by the message count.
+func TestRunDistributedWithSharded(t *testing.T) {
+	for _, topo := range []*lr.Topology{
+		lr.AlternatingChain(11),
+		lr.Grid(4, 4),
+		lr.RandomConnected(16, 0.25, 7),
+	} {
+		for _, alg := range []lr.DistAlgorithm{lr.DistFR, lr.DistPR, lr.DistNewPR} {
+			topo, alg := topo, alg
+			t.Run(topo.Name+"/"+alg.String(), func(t *testing.T) {
+				t.Parallel()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				ref, err := lr.RunDistributed(ctx, topo, alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := lr.RunDistributedWith(ctx, topo, alg, lr.DistOptions{
+					Engine:    lr.DistSharded,
+					Shards:    3,
+					Partition: lr.DistPartitionHash,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Acyclic || !rep.DestinationOriented {
+					t.Errorf("bad outcome %+v", rep)
+				}
+				if !rep.Final.Equal(ref.Final) {
+					t.Error("sharded engine final orientation diverged from goroutine engine")
+				}
+				if rep.Batches > rep.Messages {
+					t.Errorf("batches %d > messages %d", rep.Batches, rep.Messages)
+				}
+			})
+		}
+	}
+}
+
+// TestRunDistributedWithBadOptions pins the options validation surface.
+func TestRunDistributedWithBadOptions(t *testing.T) {
+	topo := lr.BadChain(4)
+	for _, opts := range []lr.DistOptions{
+		{Shards: -1},
+		{MailboxCap: -1},
+		{StepLimitSlack: -2},
+		{Engine: lr.DistEngine(9)},
+	} {
+		if _, err := lr.RunDistributedWith(context.Background(), topo, lr.DistFR, opts); !errors.Is(err, lr.ErrBadDistOptions) {
+			t.Errorf("opts %+v: err = %v, want ErrBadDistOptions", opts, err)
 		}
 	}
 }

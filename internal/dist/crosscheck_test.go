@@ -28,11 +28,11 @@ func sequentialTwin(alg Algorithm, in *core.Init) (automaton.Automaton, []automa
 
 // TestDistributedMatchesSequential replays each distributed run's recorded
 // step linearization on the matching sequential automaton over a seed
-// sweep. Every step must satisfy the sequential precondition, the paper's
-// invariant suite must hold in every traversed state, and the sequential
-// replay must land on exactly the distributed final orientation — the
-// machine-checked form of "the asynchronous execution is one of the
-// automaton's executions".
+// sweep, for every engine configuration. Every step must satisfy the
+// sequential precondition, the paper's invariant suite must hold in every
+// traversed state, and the sequential replay must land on exactly the
+// distributed final orientation — the machine-checked form of "the
+// asynchronous execution is one of the automaton's executions".
 func TestDistributedMatchesSequential(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		for _, topo := range []*workload.Topology{
@@ -40,47 +40,49 @@ func TestDistributedMatchesSequential(t *testing.T) {
 			workload.LayeredDAG(4, 4, 0.5, seed),
 		} {
 			for _, alg := range allAlgorithms() {
-				topo, alg, seed := topo, alg, seed
-				t.Run(fmt.Sprintf("%s/%v/seed%d", topo.Name, alg, seed), func(t *testing.T) {
-					t.Parallel()
-					in, err := topo.Init()
-					if err != nil {
-						t.Fatal(err)
-					}
-					ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-					defer cancel()
-					res, err := Run(ctx, in, alg)
-					if err != nil {
-						t.Fatal(err)
-					}
-					twin, invs, err := sequentialTwin(alg, in)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if err := automaton.CheckAll(twin, invs); err != nil {
-						t.Fatalf("initial state: %v", err)
-					}
-					for i, u := range res.Trace {
-						if err := twin.Step(automaton.ReverseNode{U: u}); err != nil {
-							t.Fatalf("replay step %d (node %d): %v", i, u, err)
+				for _, opts := range testEngines(t) {
+					topo, alg, seed, opts := topo, alg, seed, opts
+					t.Run(fmt.Sprintf("%s/%v/seed%d/%v", topo.Name, alg, seed, opts.Engine), func(t *testing.T) {
+						t.Parallel()
+						in, err := topo.Init()
+						if err != nil {
+							t.Fatal(err)
+						}
+						ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+						defer cancel()
+						res, err := RunWith(ctx, in, alg, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						twin, invs, err := sequentialTwin(alg, in)
+						if err != nil {
+							t.Fatal(err)
 						}
 						if err := automaton.CheckAll(twin, invs); err != nil {
-							t.Fatalf("after step %d (node %d): %v", i, u, err)
+							t.Fatalf("initial state: %v", err)
 						}
-					}
-					if !twin.Quiescent() {
-						t.Error("sequential replay not quiescent after full trace")
-					}
-					if !twin.Orientation().Equal(res.Final) {
-						t.Error("sequential replay diverged from the distributed final orientation")
-					}
-					if wc, ok := twin.(interface{ TotalReversals() int }); ok {
-						if wc.TotalReversals() != res.Stats.TotalReversals {
-							t.Errorf("sequential reversals %d != distributed %d",
-								wc.TotalReversals(), res.Stats.TotalReversals)
+						for i, u := range res.Trace {
+							if err := twin.Step(automaton.ReverseNode{U: u}); err != nil {
+								t.Fatalf("replay step %d (node %d): %v", i, u, err)
+							}
+							if err := automaton.CheckAll(twin, invs); err != nil {
+								t.Fatalf("after step %d (node %d): %v", i, u, err)
+							}
 						}
-					}
-				})
+						if !twin.Quiescent() {
+							t.Error("sequential replay not quiescent after full trace")
+						}
+						if !twin.Orientation().Equal(res.Final) {
+							t.Error("sequential replay diverged from the distributed final orientation")
+						}
+						if wc, ok := twin.(interface{ TotalReversals() int }); ok {
+							if wc.TotalReversals() != res.Stats.TotalReversals {
+								t.Errorf("sequential reversals %d != distributed %d",
+									wc.TotalReversals(), res.Stats.TotalReversals)
+							}
+						}
+					})
+				}
 			}
 		}
 	}

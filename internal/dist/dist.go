@@ -1,19 +1,21 @@
-// Package dist executes the link-reversal protocols asynchronously: one
-// goroutine per node, exchanging height and reversal messages over buffered
-// channels. It is the paper's core scenario — Radeva & Lynch's acyclicity
-// results are claims about *every* asynchronous execution, and this package
-// realizes such executions with real concurrency instead of a simulated
-// scheduler.
+// Package dist executes the link-reversal protocols asynchronously with
+// real concurrency instead of a simulated scheduler. It is the paper's core
+// scenario — Radeva & Lynch's acyclicity results are claims about *every*
+// asynchronous execution, and this package realizes such executions.
 //
-// Two engines are provided:
+// Two entry points are provided:
 //
-//   - Run executes one of the three protocol variants (FullReversal,
-//     PartialReversal, StaticPartialReversal) on a fixed topology until
-//     global quiescence, using reversal-notification messages. Every step a
-//     node takes is a valid step of the corresponding sequential automaton
-//     (see the safety argument below), so the recorded step order replays
-//     verbatim on the internal/core automata — the cross-check exploited by
-//     the test suite.
+//   - Run / RunWith execute one of the three protocol variants
+//     (FullReversal, PartialReversal, StaticPartialReversal) on a fixed
+//     topology until global quiescence, using reversal-notification
+//     messages. Every step a node takes is a valid step of the
+//     corresponding sequential automaton (see the safety argument below),
+//     so the recorded step order replays verbatim on the internal/core
+//     automata — the cross-check exploited by the test suite. Two
+//     interchangeable execution engines back them (see Engine): the
+//     goroutine-per-node reference engine and a sharded worker-pool engine
+//     that partitions nodes across O(GOMAXPROCS) shard goroutines and
+//     batches cross-shard traffic, selected through Options.
 //
 //   - DynamicNetwork runs the height-based (Gafni–Bertsekas pair) protocol
 //     over a topology that changes at runtime: links can be added and failed
@@ -113,6 +115,13 @@ type Stats struct {
 	// edge in Run; one height announcement per live neighbour per step in
 	// DynamicNetwork).
 	Messages int
+	// Batches is the number of message batches handed to the transport:
+	// equal to Messages under the goroutine-per-node engine, where every
+	// message travels alone, and the number of cross-shard flushes under
+	// the sharded engine, where intra-shard messages bypass the transport
+	// entirely — so Batches ≤ Messages, reaching 0 when all traffic stays
+	// inside one shard.
+	Batches int
 	// Steps is the number of node steps taken (including NewPR's dummy
 	// parity-fixing steps).
 	Steps int

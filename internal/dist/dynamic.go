@@ -113,7 +113,7 @@ func NewDynamicNetwork(topo *workload.Topology) (*DynamicNetwork, error) {
 	for u := 0; u < n; u++ {
 		id := graph.NodeID(u)
 		d.heights[u] = core.Height{A: 0, B: -in.Embedding().Pos(id), ID: id}
-		d.tx[u] = make(chan dynMsg, mailboxCap)
+		d.tx[u] = make(chan dynMsg, defaultMailboxCap)
 	}
 	for _, e := range topo.Graph.Edges() {
 		d.adj[e] = true

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+)
+
+// nodeEnv is a protocol node's view of its engine: announce records the
+// beginning of a step, deliver routes one reversal message toward another
+// node. Implementations must guarantee that a message handed to deliver
+// during a step is received only after that step's announce returned — the
+// property that makes the recorded trace a legal sequential execution.
+type nodeEnv interface {
+	announce(u graph.NodeID, targets int)
+	deliver(from, to graph.NodeID)
+}
+
+// engine is one execution strategy for RunWith. start launches the engine's
+// goroutines (all registered on the shared core's WaitGroup); node exposes
+// a node's final view for reassembling the orientation after the WaitGroup
+// has drained.
+type engine interface {
+	start()
+	node(u graph.NodeID) *runNode
+}
+
+// runCore is the accounting shared by all engines of one RunWith
+// invocation. All mutable fields are guarded by mu; the channels coordinate
+// shutdown and quiescence.
+type runCore struct {
+	mu       sync.Mutex
+	inflight int
+	stats    Stats
+	trace    []graph.NodeID
+	failure  error
+
+	stepLimit int
+	quietOnce sync.Once
+	quiet     chan struct{} // closed when inflight first reaches zero
+	stop      chan struct{} // closed to terminate all goroutines
+	wg        sync.WaitGroup
+}
+
+func newRunCore(stepLimit, startTokens int) *runCore {
+	return &runCore{
+		stepLimit: stepLimit,
+		inflight:  startTokens,
+		quiet:     make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+}
+
+// record marks the beginning of a step by node u that reverses the edges to
+// targets neighbours: it appends the step to the global linearization,
+// updates the statistics, and adds credit in-flight tokens and batches
+// transport batches. The goroutine-per-node engine credits one token and
+// one batch per message; the sharded engine passes zero for both and
+// accounts whole batches at flush time instead. The caller must hand the
+// step's messages to the transport only after record returns: recording
+// before sending is what makes the trace a legal sequential execution — any
+// later step enabled by one of these reversals happens after its message is
+// delivered, hence after this append.
+func (c *runCore) record(u graph.NodeID, targets, credit, batches int) {
+	c.mu.Lock()
+	c.trace = append(c.trace, u)
+	c.stats.Steps++
+	c.stats.TotalReversals += targets
+	c.stats.Messages += targets
+	c.stats.Batches += batches
+	c.inflight += credit
+	if c.stats.Steps > c.stepLimit && c.failure == nil {
+		c.failure = fmt.Errorf("%w: %d steps", ErrStepLimit, c.stats.Steps)
+		c.quietOnce.Do(func() { close(c.quiet) })
+	}
+	c.mu.Unlock()
+}
+
+// addBatches accounts n message batches about to enter the transport: one
+// in-flight token per batch, added before the batch is sent so the counter
+// can never reach zero while a batch exists.
+func (c *runCore) addBatches(n int) {
+	c.mu.Lock()
+	c.inflight += n
+	c.stats.Batches += n
+	c.mu.Unlock()
+}
+
+// done retires n in-flight tokens and closes quiet when none remain. A
+// token is retired only after its holder has fully processed the message or
+// batch it stands for (including any steps it triggered), so inflight == 0
+// implies every view is exact and no node is a sink: global quiescence.
+func (c *runCore) done(n int) {
+	c.mu.Lock()
+	c.inflight -= n
+	if c.inflight == 0 {
+		c.quietOnce.Do(func() { close(c.quiet) })
+	}
+	c.mu.Unlock()
+}
+
+// stopped reports whether the engine has been told to shut down, without
+// blocking. Long local cascades poll it so cancellation stays prompt.
+func (c *runCore) stopped() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunWith executes alg on in's topology under the engine selected by opts
+// until global quiescence and returns the final orientation, cost
+// statistics and the linearized step trace. It returns ctx.Err() if the
+// context is cancelled first — cancellation propagates into the engine's
+// stop path mid-run, it does not wait for quiescence.
+func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*Result, error) {
+	switch alg {
+	case FullReversal, PartialReversal, StaticPartialReversal:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, int(alg))
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := in.Graph()
+	n := g.NumNodes()
+	// NewPR takes at most one dummy step per real step, and sequential
+	// executions are bounded well under 100·n²+100 steps; double that
+	// factor so hitting the limit can only mean an engine bug.
+	limit := 200*n*n + opts.StepLimitSlack
+	var (
+		c   *runCore
+		eng engine
+	)
+	switch opts.Engine {
+	case GoroutinePerNode:
+		c = newRunCore(limit, n) // one start token per node
+		eng = newNodeEngine(c, in, alg, opts)
+	case Sharded:
+		shards := min(opts.Shards, n)
+		c = newRunCore(limit, shards) // one start token per shard
+		eng = newShardEngine(c, in, alg, opts, shards)
+	}
+	eng.start()
+
+	var ctxErr error
+	select {
+	case <-c.quiet:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+	}
+	close(c.stop)
+	c.wg.Wait()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	// wg.Wait happens-after every engine goroutine exit, so reading node
+	// views here is race-free. At quiescence both endpoints agree on every
+	// edge, so either view reconstructs the orientation.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failure != nil {
+		return nil, c.failure
+	}
+	directed := make([][2]graph.NodeID, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		if eng.node(e.U).incoming[e.V] {
+			directed = append(directed, [2]graph.NodeID{e.V, e.U})
+		} else {
+			directed = append(directed, [2]graph.NodeID{e.U, e.V})
+		}
+	}
+	final, err := graph.OrientationFromDirected(g, directed)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reassemble final orientation: %w", err)
+	}
+	return &Result{Final: final, Stats: c.stats, Trace: c.trace}, nil
+}

@@ -1,0 +1,282 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"linkreversal/internal/graph"
+	"linkreversal/internal/workload"
+)
+
+// testEngines returns the engine configurations exercised by this test
+// process: both engines by default, or only the one named by the
+// LR_DIST_ENGINE environment variable (the CI test matrix). The sharded
+// configuration pins three shards so cross-shard batching is exercised even
+// on a single-CPU machine, where the GOMAXPROCS default would collapse to
+// one shard.
+func testEngines(t testing.TB) []Options {
+	gpn := Options{Engine: GoroutinePerNode}
+	sharded := Options{Engine: Sharded, Shards: 3}
+	switch v := os.Getenv("LR_DIST_ENGINE"); v {
+	case "", "both":
+		return []Options{gpn, sharded}
+	case "goroutine":
+		return []Options{gpn}
+	case "sharded":
+		return []Options{sharded}
+	default:
+		t.Fatalf("unknown LR_DIST_ENGINE %q (want goroutine, sharded or both)", v)
+		return nil
+	}
+}
+
+// TestOptionsValidation pins the ErrBadOption cases and that valid
+// non-default knobs are accepted.
+func TestOptionsValidation(t *testing.T) {
+	in, err := workload.BadChain(4).Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{Engine: Engine(42)},
+		{Partition: Partition(42)},
+		{Shards: -1},
+		{MailboxCap: -3},
+		{StepLimitSlack: -1},
+	}
+	for _, opts := range bad {
+		if _, err := RunWith(context.Background(), in, FullReversal, opts); !errors.Is(err, ErrBadOption) {
+			t.Errorf("opts %+v: err = %v, want ErrBadOption", opts, err)
+		}
+	}
+	good := []Options{
+		{},
+		{Engine: Sharded},
+		{Engine: Sharded, Shards: 64, Partition: PartitionHash}, // shards > nodes: clamped
+		{MailboxCap: 1, StepLimitSlack: 1000},
+		{Engine: Sharded, Shards: 2, MailboxCap: 1},
+	}
+	for _, opts := range good {
+		res, err := RunWith(context.Background(), in, FullReversal, opts)
+		if err != nil {
+			t.Errorf("opts %+v: unexpected error %v", opts, err)
+			continue
+		}
+		if !graph.IsDestinationOriented(res.Final, in.Destination()) {
+			t.Errorf("opts %+v: final orientation not destination oriented", opts)
+		}
+	}
+}
+
+// TestPartitioner checks both schemes: assignments are deterministic, land
+// in [0, shards), cover every node exactly once (trivially, being a
+// function), and respect each scheme's balance guarantee.
+func TestPartitioner(t *testing.T) {
+	for _, scheme := range []Partition{PartitionBlock, PartitionHash} {
+		for _, n := range []int{1, 5, 64, 1000} {
+			for _, shards := range []int{1, 2, 3, 7, 16} {
+				if shards > n {
+					continue // RunWith clamps shards to the node count
+				}
+				name := fmt.Sprintf("%v/n=%d/shards=%d", scheme, n, shards)
+				p := newPartitioner(scheme, n, shards)
+				q := newPartitioner(scheme, n, shards)
+				sizes := make([]int, shards)
+				for u := 0; u < n; u++ {
+					s := p.shardOf(graph.NodeID(u))
+					if s < 0 || s >= shards {
+						t.Fatalf("%s: node %d assigned to shard %d out of range", name, u, s)
+					}
+					if s != q.shardOf(graph.NodeID(u)) {
+						t.Fatalf("%s: assignment of node %d not deterministic", name, u)
+					}
+					sizes[s]++
+				}
+				total, ceil := 0, (n+shards-1)/shards
+				for s, size := range sizes {
+					total += size
+					if size > ceil {
+						t.Errorf("%s: shard %d holds %d nodes, want ≤ ⌈n/shards⌉ = %d", name, s, size, ceil)
+					}
+				}
+				if total != n {
+					t.Errorf("%s: %d assignments for %d nodes", name, total, n)
+				}
+				if scheme == PartitionBlock {
+					// Block assignments are monotone in the node ID.
+					for u := 1; u < n; u++ {
+						if p.shardOf(graph.NodeID(u)) < p.shardOf(graph.NodeID(u-1)) {
+							t.Fatalf("%s: block assignment not monotone at node %d", name, u)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeOnFinal runs both engines — the sharded one across shard
+// counts and both partition schemes — on the same inputs and requires
+// identical final orientations. Link reversal is confluent: enabled sinks
+// are never adjacent, so their steps commute, and the final orientation is
+// a function of the input alone. Any divergence is an engine bug.
+func TestEnginesAgreeOnFinal(t *testing.T) {
+	shardedVariants := []Options{
+		{Engine: Sharded, Shards: 1},
+		{Engine: Sharded, Shards: 2},
+		{Engine: Sharded, Shards: 5, Partition: PartitionHash},
+		{Engine: Sharded}, // GOMAXPROCS shards
+	}
+	for _, topo := range []*workload.Topology{
+		workload.AlternatingChain(9),
+		workload.Grid(4, 5),
+		workload.RandomConnected(24, 0.2, 11),
+	} {
+		in, err := topo.Init()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range allAlgorithms() {
+			ref, err := RunWith(context.Background(), in, alg, Options{Engine: GoroutinePerNode})
+			if err != nil {
+				t.Fatalf("%s/%v: reference engine: %v", topo.Name, alg, err)
+			}
+			for _, opts := range shardedVariants {
+				res, err := RunWith(context.Background(), in, alg, opts)
+				if err != nil {
+					t.Fatalf("%s/%v/%+v: %v", topo.Name, alg, opts, err)
+				}
+				if !res.Final.Equal(ref.Final) {
+					t.Errorf("%s/%v: sharded engine %+v diverged from goroutine-per-node final orientation",
+						topo.Name, alg, opts)
+				}
+				if res.Stats.TotalReversals != ref.Stats.TotalReversals {
+					t.Errorf("%s/%v: sharded %+v did %d reversals, reference %d",
+						topo.Name, alg, opts, res.Stats.TotalReversals, ref.Stats.TotalReversals)
+				}
+			}
+		}
+	}
+}
+
+// TestRunWithCancelMidRun starts a run that deterministically needs far
+// more work than the context allows (FR on the all-away chain is Θ(n_b²))
+// and checks that cancellation propagates into the engine's stop path
+// mid-run: the call must return ctx.Err() promptly instead of running the
+// protocol to quiescence.
+func TestRunWithCancelMidRun(t *testing.T) {
+	in, err := workload.BadChain(4000).Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range testEngines(t) {
+		opts := opts
+		t.Run(opts.Engine.String(), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := RunWith(ctx, in, FullReversal, opts)
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			// 16M reversals take seconds at best; well under a second after
+			// the deadline is "prompt" even on a loaded race-enabled CI box.
+			if elapsed > 10*time.Second {
+				t.Errorf("cancellation took %v, want prompt return", elapsed)
+			}
+		})
+	}
+}
+
+// TestShardedGoroutineCount pins the sharded engine's O(shards) goroutine
+// bound: sampling the runtime's goroutine count during a long run must stay
+// within 2·shards workers (loop + mailbox pump each) plus a small slack,
+// regardless of the 1501-node topology.
+func TestShardedGoroutineCount(t *testing.T) {
+	in, err := workload.BadChain(1500).Init()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	baseline := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWith(context.Background(), in, FullReversal, Options{Engine: Sharded, Shards: shards})
+		done <- err
+	}()
+	peak := 0
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if limit := baseline + 2*shards + 4; peak > limit {
+				t.Errorf("goroutine peak %d > %d (baseline %d + 2·%d shards + slack)",
+					peak, limit, baseline, shards)
+			}
+			return
+		default:
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestEngineStrings pins the enum renderings used in benchmarks and tables.
+func TestEngineStrings(t *testing.T) {
+	if GoroutinePerNode.String() != "goroutine-per-node" || Sharded.String() != "sharded" {
+		t.Error("engine strings wrong")
+	}
+	if Engine(42).String() != "Engine(42)" {
+		t.Errorf("unknown engine string = %q", Engine(42).String())
+	}
+	if PartitionBlock.String() != "block" || PartitionHash.String() != "hash" {
+		t.Error("partition strings wrong")
+	}
+	if Partition(42).String() != "Partition(42)" {
+		t.Errorf("unknown partition string = %q", Partition(42).String())
+	}
+}
+
+// FuzzEnginesAgree feeds random topologies through both engines and
+// requires identical final orientations — the confluence cross-check over
+// the whole generator space, including degenerate shard counts.
+func FuzzEnginesAgree(f *testing.F) {
+	f.Add(uint8(8), uint8(30), int64(1), uint8(1), uint8(2))
+	f.Add(uint8(2), uint8(0), int64(-5), uint8(2), uint8(0))
+	f.Add(uint8(30), uint8(80), int64(99), uint8(0), uint8(131))
+	f.Fuzz(func(t *testing.T, rawN, rawP uint8, seed int64, rawAlg, rawShards uint8) {
+		n := 2 + int(rawN)%30
+		p := float64(rawP%100) / 100.0
+		alg := allAlgorithms()[int(rawAlg)%3]
+		opts := Options{Engine: Sharded, Shards: 1 + int(rawShards)%6}
+		if rawShards >= 128 {
+			opts.Partition = PartitionHash
+		}
+		topo := workload.RandomConnected(n, p, seed)
+		in, err := topo.Init()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := RunWith(context.Background(), in, alg, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunWith(context.Background(), in, alg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Final.Equal(ref.Final) {
+			t.Fatalf("engines diverged on %s/%v with %+v", topo.Name, alg, opts)
+		}
+	})
+}

@@ -1,19 +1,14 @@
 package dist
 
-// mailboxCap is the buffer size of a mailbox's ingress channel. Senders
-// block only while the pump goroutine is momentarily descheduled; the pump
-// itself never blocks on ingress, so there is no deadlock cycle regardless
-// of traffic pattern.
-const mailboxCap = 64
-
 // mailbox pumps messages from a bounded ingress channel into an unbounded
-// in-memory queue and hands them to the node in FIFO order. One mailbox
-// goroutine runs per node; it exits when stop is closed.
+// in-memory queue and hands them to the receiver in FIFO order. One mailbox
+// goroutine runs per node (goroutine-per-node engine) or per shard (sharded
+// engine); it exits when stop is closed.
 //
-// The pump decouples senders from receivers: a node goroutine busy taking a
-// step never blocks its neighbours' sends, which is what rules out the
-// send/receive deadlock cycles a direct node-to-node buffered channel mesh
-// would allow.
+// The pump decouples senders from receivers: a receiver busy taking a step
+// never blocks its peers' sends, which is what rules out the send/receive
+// deadlock cycles a direct buffered channel mesh would allow — for nodes
+// and just the same for shards exchanging batches.
 func mailbox[M any](in <-chan M, out chan<- M, stop <-chan struct{}) {
 	var queue []M
 	for {

@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Engine selects the execution engine used by RunWith. The engines differ
+// only in how node state is scheduled onto goroutines and how reversal
+// messages travel; both realize legal asynchronous executions of the same
+// protocols, record the same kind of linearized step trace, and quiesce on
+// identical final orientations.
+type Engine int
+
+const (
+	// GoroutinePerNode is the reference engine: every node runs as its own
+	// goroutine with a dedicated mailbox pump, so the Go scheduler itself is
+	// the asynchrony adversary at single-node granularity. Memory and
+	// scheduling cost grow with the node count (two goroutines and a
+	// buffered channel per node), which caps practical topology sizes well
+	// below the sharded engine's.
+	GoroutinePerNode Engine = iota + 1
+	// Sharded partitions the nodes across a small fixed set of shard
+	// goroutines (default GOMAXPROCS). Each shard owns its nodes' state,
+	// delivers intra-shard messages through a local run-queue without
+	// touching a channel, and accumulates cross-shard messages in
+	// per-destination outboxes that are flushed as batches. The engine uses
+	// O(shards) goroutines independent of the node count, which is what
+	// makes very large topologies affordable.
+	Sharded
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case GoroutinePerNode:
+		return "goroutine-per-node"
+	case Sharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Partition selects how the Sharded engine assigns nodes to shards. Both
+// schemes are deterministic and assign every node to exactly one shard.
+type Partition int
+
+const (
+	// PartitionBlock assigns contiguous ID ranges of ⌈n/shards⌉ nodes to
+	// each shard. It is the default: the workload generators hand adjacent
+	// IDs to nearby nodes (chains, grids, trees), so range partitioning
+	// keeps most reversal traffic intra-shard, where it is delivered
+	// through the local run-queue without channels.
+	PartitionBlock Partition = iota + 1
+	// PartitionHash assigns node u to shard u mod shards. It spreads any
+	// ID layout evenly across shards at the cost of locality; use it when
+	// node IDs carry no topological meaning.
+	PartitionHash
+)
+
+// String implements fmt.Stringer.
+func (p Partition) String() string {
+	switch p {
+	case PartitionBlock:
+		return "block"
+	case PartitionHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
+// ErrBadOption is returned by RunWith for out-of-range Options values.
+var ErrBadOption = errors.New("dist: invalid option")
+
+// Defaults applied by Options.withDefaults for zero-valued fields.
+const (
+	// defaultMailboxCap is the default buffer size of a mailbox's ingress
+	// channel. Senders block only while the pump goroutine is momentarily
+	// descheduled; the pump itself never blocks on ingress, so there is no
+	// deadlock cycle regardless of traffic pattern.
+	defaultMailboxCap = 64
+	// defaultStepLimitSlack is the default additive slack of the runaway
+	// protection budget; see Options.StepLimitSlack.
+	defaultStepLimitSlack = 200
+)
+
+// Options tunes RunWith. The zero value selects the goroutine-per-node
+// engine with default mailbox capacity and step-limit slack, matching the
+// behaviour of Run.
+type Options struct {
+	// Engine selects the execution engine; 0 means GoroutinePerNode.
+	Engine Engine
+	// Shards is the number of shard goroutines used by the Sharded engine,
+	// clamped to the node count; 0 means GOMAXPROCS. Ignored by
+	// GoroutinePerNode.
+	Shards int
+	// Partition selects the Sharded engine's node-to-shard assignment;
+	// 0 means PartitionBlock. Ignored by GoroutinePerNode.
+	Partition Partition
+	// MailboxCap is the buffer size of each mailbox ingress channel
+	// (per node for GoroutinePerNode, per shard for Sharded); 0 means 64.
+	MailboxCap int
+	// StepLimitSlack is the additive slack of the runaway-step budget
+	// 200·n² + slack; 0 means 200. Exceeding the budget aborts the run
+	// with ErrStepLimit — it indicates an engine bug, not a property of
+	// the algorithms, so the slack only matters to tests that want a
+	// tighter abort.
+	StepLimitSlack int
+}
+
+// withDefaults validates o and fills in the defaults for zero fields.
+func (o Options) withDefaults() (Options, error) {
+	switch o.Engine {
+	case 0:
+		o.Engine = GoroutinePerNode
+	case GoroutinePerNode, Sharded:
+	default:
+		return o, fmt.Errorf("%w: engine %d", ErrBadOption, int(o.Engine))
+	}
+	switch o.Partition {
+	case 0:
+		o.Partition = PartitionBlock
+	case PartitionBlock, PartitionHash:
+	default:
+		return o, fmt.Errorf("%w: partition %d", ErrBadOption, int(o.Partition))
+	}
+	if o.Shards < 0 {
+		return o, fmt.Errorf("%w: %d shards", ErrBadOption, o.Shards)
+	}
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.MailboxCap < 0 {
+		return o, fmt.Errorf("%w: mailbox capacity %d", ErrBadOption, o.MailboxCap)
+	}
+	if o.MailboxCap == 0 {
+		o.MailboxCap = defaultMailboxCap
+	}
+	if o.StepLimitSlack < 0 {
+		return o, fmt.Errorf("%w: step-limit slack %d", ErrBadOption, o.StepLimitSlack)
+	}
+	if o.StepLimitSlack == 0 {
+		o.StepLimitSlack = defaultStepLimitSlack
+	}
+	return o, nil
+}

@@ -3,14 +3,13 @@ package dist
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
 )
 
 // reverseMsg announces that From reversed the shared edge, which now points
-// toward the receiver. It is the only message kind of the static engine:
+// toward the receiver. It is the only message kind of the static engines:
 // for the height-based variants it plays the role of the height
 // announcement, and for list-based PR it additionally means "add From to
 // your list".
@@ -18,70 +17,11 @@ type reverseMsg struct {
 	From graph.NodeID
 }
 
-// runEngine is the shared state of one Run invocation. All mutable fields
-// are guarded by mu; the channels coordinate shutdown and quiescence.
-type runEngine struct {
-	mu       sync.Mutex
-	inflight int
-	stats    Stats
-	trace    []graph.NodeID
-	failure  error
-
-	stepLimit int
-	quietOnce sync.Once
-	quiet     chan struct{} // closed when inflight first reaches zero
-	stop      chan struct{} // closed to terminate all goroutines
-	wg        sync.WaitGroup
-
-	// tx[u] is the ingress channel of u's mailbox.
-	tx []chan reverseMsg
-}
-
-// announce marks the beginning of a step by node u that reverses the edges
-// to targets: it appends the step to the global linearization, updates the
-// statistics, and accounts one in-flight message per target. The caller
-// must send the messages (via send) after announce returns. Recording
-// before sending is what makes the trace a legal sequential execution: any
-// later step enabled by one of these reversals happens after its message is
-// delivered, hence after this append.
-func (e *runEngine) announce(u graph.NodeID, targets int) {
-	e.mu.Lock()
-	e.trace = append(e.trace, u)
-	e.stats.Steps++
-	e.stats.TotalReversals += targets
-	e.stats.Messages += targets
-	e.inflight += targets
-	if e.stats.Steps > e.stepLimit && e.failure == nil {
-		e.failure = fmt.Errorf("%w: %d steps", ErrStepLimit, e.stats.Steps)
-		e.quietOnce.Do(func() { close(e.quiet) })
-	}
-	e.mu.Unlock()
-}
-
-// done retires n in-flight tokens and closes quiet when none remain. A
-// token is retired only after its receiver has fully processed the message
-// (including any steps it triggered), so inflight == 0 implies every view
-// is exact and no node is a sink: global quiescence.
-func (e *runEngine) done(n int) {
-	e.mu.Lock()
-	e.inflight -= n
-	if e.inflight == 0 {
-		e.quietOnce.Do(func() { close(e.quiet) })
-	}
-	e.mu.Unlock()
-}
-
-// send delivers m to node v's mailbox, giving up if the engine stops.
-func (e *runEngine) send(v graph.NodeID, m reverseMsg) {
-	select {
-	case e.tx[v] <- m:
-	case <-e.stop:
-	}
-}
-
-// runNode is the per-goroutine state of one protocol participant.
+// runNode is the per-node protocol state, shared by every engine. The
+// engine behind env decides how announce/deliver are realized; the
+// protocol rules below are engine independent.
 type runNode struct {
-	eng  *runEngine
+	env  nodeEnv
 	id   graph.NodeID
 	dest graph.NodeID
 	alg  Algorithm
@@ -98,19 +38,17 @@ type runNode struct {
 	count int
 	// initIn and initOut are NewPR's immutable initial neighbour sets.
 	initIn, initOut []graph.NodeID
-	rx              chan reverseMsg
 }
 
-func newRunNode(eng *runEngine, in *core.Init, alg Algorithm, id graph.NodeID, initial *graph.Orientation) *runNode {
+func newRunNode(env nodeEnv, in *core.Init, alg Algorithm, id graph.NodeID, initial *graph.Orientation) *runNode {
 	nbrs := in.Graph().Neighbors(id)
 	nd := &runNode{
-		eng:      eng,
+		env:      env,
 		id:       id,
 		dest:     in.Destination(),
 		alg:      alg,
 		nbrs:     nbrs,
 		incoming: make(map[graph.NodeID]bool, len(nbrs)),
-		rx:       make(chan reverseMsg),
 	}
 	for _, v := range nbrs {
 		nd.incoming[v] = initial.PointsTo(v, id)
@@ -170,21 +108,22 @@ func (nd *runNode) reversalSet() []graph.NodeID {
 
 // step performs one reversal step. The caller has checked viewSink, so
 // every incident edge truly points toward this node and the reversals
-// below are valid automaton transitions.
+// below are valid automaton transitions. The step is announced before any
+// of its messages is handed to the engine.
 func (nd *runNode) step() {
 	targets := nd.reversalSet()
-	nd.eng.announce(nd.id, len(targets))
+	nd.env.announce(nd.id, len(targets))
 	for _, v := range targets {
 		nd.incoming[v] = false
 	}
 	switch nd.alg {
 	case PartialReversal:
-		nd.list = make(map[graph.NodeID]bool, len(nd.nbrs))
+		clear(nd.list)
 	case StaticPartialReversal:
 		nd.count++
 	}
 	for _, v := range targets {
-		nd.eng.send(v, reverseMsg{From: nd.id})
+		nd.env.deliver(nd.id, v)
 	}
 }
 
@@ -197,98 +136,99 @@ func (nd *runNode) act() {
 	}
 }
 
+// receive applies one reversal announcement from a neighbour and takes any
+// steps it enables. Engines call it with full ownership of the node.
+func (nd *runNode) receive(from graph.NodeID) {
+	nd.incoming[from] = true
+	if nd.list != nil {
+		nd.list[from] = true
+	}
+	nd.act()
+}
+
+// nodeEngine is the goroutine-per-node reference engine: one protocol
+// goroutine plus one mailbox pump per node, with every message travelling
+// alone through the receiver's mailbox channel.
+type nodeEngine struct {
+	c     *runCore
+	nodes []*runNode
+	// tx[u] is the ingress channel of u's mailbox; rx[u] the pump's output.
+	tx, rx []chan reverseMsg
+}
+
+var _ interface {
+	engine
+	nodeEnv
+} = (*nodeEngine)(nil)
+
+func newNodeEngine(c *runCore, in *core.Init, alg Algorithm, opts Options) *nodeEngine {
+	n := in.Graph().NumNodes()
+	e := &nodeEngine{
+		c:     c,
+		nodes: make([]*runNode, n),
+		tx:    make([]chan reverseMsg, n),
+		rx:    make([]chan reverseMsg, n),
+	}
+	initial := in.InitialOrientation()
+	for u := 0; u < n; u++ {
+		e.nodes[u] = newRunNode(e, in, alg, graph.NodeID(u), initial)
+		e.tx[u] = make(chan reverseMsg, opts.MailboxCap)
+		e.rx[u] = make(chan reverseMsg)
+	}
+	return e
+}
+
+func (e *nodeEngine) node(u graph.NodeID) *runNode { return e.nodes[u] }
+
+// announce credits one in-flight token (and one singleton transport batch)
+// per message of the step.
+func (e *nodeEngine) announce(u graph.NodeID, targets int) {
+	e.c.record(u, targets, targets, targets)
+}
+
+// deliver sends the message to node to's mailbox, giving up if the engine
+// stops.
+func (e *nodeEngine) deliver(from, to graph.NodeID) {
+	select {
+	case e.tx[to] <- reverseMsg{From: from}:
+	case <-e.c.stop:
+	}
+}
+
+func (e *nodeEngine) start() {
+	for u := range e.nodes {
+		e.c.wg.Add(2)
+		nd := e.nodes[u]
+		go func(in <-chan reverseMsg, out chan<- reverseMsg) {
+			defer e.c.wg.Done()
+			mailbox(in, out, e.c.stop)
+		}(e.tx[u], e.rx[u])
+		go e.loop(nd, e.rx[u])
+	}
+}
+
 // loop is the node goroutine: consume the start token, then serve messages
 // until shutdown.
-func (nd *runNode) loop() {
-	defer nd.eng.wg.Done()
+func (e *nodeEngine) loop(nd *runNode, rx <-chan reverseMsg) {
+	defer e.c.wg.Done()
 	nd.act()
-	nd.eng.done(1)
+	e.c.done(1)
 	for {
 		select {
-		case <-nd.eng.stop:
+		case <-e.c.stop:
 			return
-		case m := <-nd.rx:
-			nd.incoming[m.From] = true
-			if nd.list != nil {
-				nd.list[m.From] = true
-			}
-			nd.act()
-			nd.eng.done(1)
+		case m := <-rx:
+			nd.receive(m.From)
+			e.c.done(1)
 		}
 	}
 }
 
-// Run executes alg on in's topology with one goroutine per node until
-// global quiescence and returns the final orientation, cost statistics and
-// the linearized step trace. It returns ctx.Err() if the context is
-// cancelled first.
+// Run executes alg on in's topology with the default goroutine-per-node
+// engine until global quiescence and returns the final orientation, cost
+// statistics and the linearized step trace. It returns ctx.Err() if the
+// context is cancelled first. Use RunWith to select the sharded engine or
+// tune the engine knobs.
 func Run(ctx context.Context, in *core.Init, alg Algorithm) (*Result, error) {
-	switch alg {
-	case FullReversal, PartialReversal, StaticPartialReversal:
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, int(alg))
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	g := in.Graph()
-	n := g.NumNodes()
-	eng := &runEngine{
-		// NewPR takes at most one dummy step per real step, and sequential
-		// executions are bounded well under 100·n²+100 steps; double that
-		// budget so hitting the limit can only mean an engine bug.
-		stepLimit: 200*n*n + 200,
-		inflight:  n, // one start token per node
-		quiet:     make(chan struct{}),
-		stop:      make(chan struct{}),
-		tx:        make([]chan reverseMsg, n),
-	}
-	initial := in.InitialOrientation()
-	nodes := make([]*runNode, n)
-	for u := 0; u < n; u++ {
-		nodes[u] = newRunNode(eng, in, alg, graph.NodeID(u), initial)
-		eng.tx[u] = make(chan reverseMsg, mailboxCap)
-	}
-	for u := 0; u < n; u++ {
-		eng.wg.Add(2)
-		nd := nodes[u]
-		go func(in <-chan reverseMsg, out chan<- reverseMsg) {
-			defer eng.wg.Done()
-			mailbox(in, out, eng.stop)
-		}(eng.tx[u], nd.rx)
-		go nd.loop()
-	}
-
-	var ctxErr error
-	select {
-	case <-eng.quiet:
-	case <-ctx.Done():
-		ctxErr = ctx.Err()
-	}
-	close(eng.stop)
-	eng.wg.Wait()
-	if ctxErr != nil {
-		return nil, ctxErr
-	}
-	// wg.Wait happens-after every node goroutine exit, so reading their
-	// views here is race-free. At quiescence both endpoints agree on every
-	// edge, so either view reconstructs the orientation.
-	eng.mu.Lock()
-	defer eng.mu.Unlock()
-	if eng.failure != nil {
-		return nil, eng.failure
-	}
-	directed := make([][2]graph.NodeID, 0, g.NumEdges())
-	for _, e := range g.Edges() {
-		if nodes[e.U].incoming[e.V] {
-			directed = append(directed, [2]graph.NodeID{e.V, e.U})
-		} else {
-			directed = append(directed, [2]graph.NodeID{e.U, e.V})
-		}
-	}
-	final, err := graph.OrientationFromDirected(g, directed)
-	if err != nil {
-		return nil, fmt.Errorf("dist: reassemble final orientation: %w", err)
-	}
-	return &Result{Final: final, Stats: eng.stats, Trace: eng.trace}, nil
+	return RunWith(ctx, in, alg, Options{})
 }

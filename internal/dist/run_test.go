@@ -36,37 +36,42 @@ func allAlgorithms() []Algorithm {
 }
 
 // TestRunQuiescesOnAllTopologies is the main table test: every algorithm on
-// every ready-made topology must quiesce to an acyclic,
-// destination-oriented orientation (run under -race in CI).
+// every ready-made topology, under every engine configuration, must quiesce
+// to an acyclic, destination-oriented orientation (run under -race in CI).
 func TestRunQuiescesOnAllTopologies(t *testing.T) {
 	for _, topo := range testTopologies() {
 		for _, alg := range allAlgorithms() {
-			topo, alg := topo, alg
-			t.Run(topo.Name+"/"+alg.String(), func(t *testing.T) {
-				t.Parallel()
-				in, err := topo.Init()
-				if err != nil {
-					t.Fatal(err)
-				}
-				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-				defer cancel()
-				res, err := Run(ctx, in, alg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !graph.IsAcyclic(res.Final) {
-					t.Error("final orientation is cyclic")
-				}
-				if !graph.IsDestinationOriented(res.Final, topo.Dest) {
-					t.Error("final orientation is not destination oriented")
-				}
-				if res.Stats.Messages < res.Stats.TotalReversals {
-					t.Errorf("messages %d < reversals %d", res.Stats.Messages, res.Stats.TotalReversals)
-				}
-				if len(res.Trace) != res.Stats.Steps {
-					t.Errorf("trace length %d != steps %d", len(res.Trace), res.Stats.Steps)
-				}
-			})
+			for _, opts := range testEngines(t) {
+				topo, alg, opts := topo, alg, opts
+				t.Run(topo.Name+"/"+alg.String()+"/"+opts.Engine.String(), func(t *testing.T) {
+					t.Parallel()
+					in, err := topo.Init()
+					if err != nil {
+						t.Fatal(err)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+					defer cancel()
+					res, err := RunWith(ctx, in, alg, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !graph.IsAcyclic(res.Final) {
+						t.Error("final orientation is cyclic")
+					}
+					if !graph.IsDestinationOriented(res.Final, topo.Dest) {
+						t.Error("final orientation is not destination oriented")
+					}
+					if res.Stats.Messages < res.Stats.TotalReversals {
+						t.Errorf("messages %d < reversals %d", res.Stats.Messages, res.Stats.TotalReversals)
+					}
+					if res.Stats.Batches > res.Stats.Messages {
+						t.Errorf("batches %d > messages %d", res.Stats.Batches, res.Stats.Messages)
+					}
+					if len(res.Trace) != res.Stats.Steps {
+						t.Errorf("trace length %d != steps %d", len(res.Trace), res.Stats.Steps)
+					}
+				})
+			}
 		}
 	}
 }
@@ -81,21 +86,25 @@ func TestRunDeterministicOnBadChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(context.Background(), in, PartialReversal)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Stats.TotalReversals != nb {
-		t.Errorf("PR reversals = %d, want %d (one linear pass)", res.Stats.TotalReversals, nb)
-	}
-	resFR, err := Run(context.Background(), in, FullReversal)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// FR's total work is schedule independent and equals n_b² on the
-	// all-away chain.
-	if want := nb * nb; resFR.Stats.TotalReversals != want {
-		t.Errorf("FR reversals = %d, want %d (quadratic)", resFR.Stats.TotalReversals, want)
+	for _, opts := range testEngines(t) {
+		res, err := RunWith(context.Background(), in, PartialReversal, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.TotalReversals != nb {
+			t.Errorf("%v: PR reversals = %d, want %d (one linear pass)",
+				opts.Engine, res.Stats.TotalReversals, nb)
+		}
+		resFR, err := RunWith(context.Background(), in, FullReversal, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FR's total work is schedule independent and equals n_b² on the
+		// all-away chain.
+		if want := nb * nb; resFR.Stats.TotalReversals != want {
+			t.Errorf("%v: FR reversals = %d, want %d (quadratic)",
+				opts.Engine, resFR.Stats.TotalReversals, want)
+		}
 	}
 }
 
@@ -107,15 +116,17 @@ func TestRunAlreadyOriented(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, alg := range allAlgorithms() {
-		res, err := Run(context.Background(), in, alg)
-		if err != nil {
-			t.Fatalf("%v: %v", alg, err)
-		}
-		if res.Stats.Steps != 0 || res.Stats.Messages != 0 {
-			t.Errorf("%v: stats = %+v, want all zero", alg, res.Stats)
-		}
-		if !res.Final.Equal(in.InitialOrientation()) {
-			t.Errorf("%v: orientation changed on a quiescent start", alg)
+		for _, opts := range testEngines(t) {
+			res, err := RunWith(context.Background(), in, alg, opts)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", alg, opts.Engine, err)
+			}
+			if res.Stats.Steps != 0 || res.Stats.Messages != 0 {
+				t.Errorf("%v/%v: stats = %+v, want all zero", alg, opts.Engine, res.Stats)
+			}
+			if !res.Final.Equal(in.InitialOrientation()) {
+				t.Errorf("%v/%v: orientation changed on a quiescent start", alg, opts.Engine)
+			}
 		}
 	}
 }

@@ -1,0 +1,204 @@
+package dist
+
+import (
+	"linkreversal/internal/core"
+	"linkreversal/internal/graph"
+)
+
+// shardMsg is one reversal announcement in transit inside the sharded
+// engine: From reversed the shared edge, which now points toward To.
+type shardMsg struct {
+	From, To graph.NodeID
+}
+
+// drainStopCheck is how many local deliveries a shard processes between
+// polls of the stop channel. It bounds cancellation latency during long
+// intra-shard cascades without paying a select per message.
+const drainStopCheck = 256
+
+// partitioner maps node IDs to shards. Assignments are deterministic and
+// total: every node of the topology belongs to exactly one shard in
+// [0, shards).
+type partitioner struct {
+	scheme Partition
+	shards int
+	// block is the nodes-per-shard quotum ⌈n/shards⌉ of PartitionBlock.
+	block int
+}
+
+func newPartitioner(scheme Partition, n, shards int) partitioner {
+	return partitioner{scheme: scheme, shards: shards, block: (n + shards - 1) / shards}
+}
+
+func (p partitioner) shardOf(u graph.NodeID) int {
+	if p.scheme == PartitionHash {
+		return int(u) % p.shards
+	}
+	return int(u) / p.block
+}
+
+// shardEngine partitions the nodes across a fixed set of shard goroutines.
+// Each shard owns its nodes' protocol state outright, so intra-shard
+// messages are delivered through a plain slice run-queue with no channel or
+// lock on the path; only cross-shard traffic touches the transport, and it
+// travels in per-destination batches. Quiescence detection counts batches
+// instead of messages: the in-flight tokens are one start token per shard
+// plus one token per batch in transit, and a shard retires the token it
+// holds only after its entire local cascade has run dry and its outboxes
+// are flushed. Goroutine count is 2·shards (one loop plus one mailbox pump
+// each), independent of the node count.
+type shardEngine struct {
+	c      *runCore
+	part   partitioner
+	nodes  []*runNode
+	shards []*shard
+}
+
+var _ engine = (*shardEngine)(nil)
+
+func newShardEngine(c *runCore, in *core.Init, alg Algorithm, opts Options, shards int) *shardEngine {
+	n := in.Graph().NumNodes()
+	e := &shardEngine{
+		c:      c,
+		part:   newPartitioner(opts.Partition, n, shards),
+		nodes:  make([]*runNode, n),
+		shards: make([]*shard, shards),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			eng: e,
+			id:  i,
+			out: make([][]shardMsg, shards),
+			tx:  make(chan []shardMsg, opts.MailboxCap),
+			rx:  make(chan []shardMsg),
+		}
+	}
+	initial := in.InitialOrientation()
+	for u := 0; u < n; u++ {
+		s := e.shards[e.part.shardOf(graph.NodeID(u))]
+		nd := newRunNode(s, in, alg, graph.NodeID(u), initial)
+		e.nodes[u] = nd
+		s.nodes = append(s.nodes, nd)
+	}
+	return e
+}
+
+func (e *shardEngine) node(u graph.NodeID) *runNode { return e.nodes[u] }
+
+func (e *shardEngine) start() {
+	for _, s := range e.shards {
+		e.c.wg.Add(2)
+		go func(s *shard) {
+			defer e.c.wg.Done()
+			mailbox(s.tx, s.rx, e.c.stop)
+		}(s)
+		go s.loop()
+	}
+}
+
+// shard is one worker of the sharded engine. Its fields are owned by the
+// shard goroutine; nodes' views are read by RunWith only after the
+// WaitGroup drained.
+type shard struct {
+	eng *shardEngine
+	id  int
+	// nodes are the protocol nodes this shard owns.
+	nodes []*runNode
+	// local is the run-queue of intra-shard deliveries, appended by deliver
+	// and consumed in FIFO order by drain.
+	local []shardMsg
+	// out[d] is the outbox of messages bound for shard d, flushed as one
+	// batch per destination when the local cascade runs dry.
+	out [][]shardMsg
+	// tx is the ingress channel of this shard's mailbox; rx the pump's
+	// output.
+	tx, rx chan []shardMsg
+}
+
+var _ nodeEnv = (*shard)(nil)
+
+// announce records one step by a node of this shard. Steps are appended to
+// the shared trace under the core mutex before any of their messages moves
+// (the run-queue and outboxes are drained only after announce returns), so
+// the linearization argument of the goroutine engine carries over
+// unchanged. No per-message in-flight credit is taken: intra-shard
+// deliveries finish before the shard retires the token it currently holds,
+// and cross-shard batches take their own token at flush time.
+func (s *shard) announce(u graph.NodeID, targets int) {
+	s.eng.c.record(u, targets, 0, 0)
+}
+
+// deliver routes one reversal message: same shard → local run-queue,
+// otherwise → the destination shard's outbox.
+func (s *shard) deliver(from, to graph.NodeID) {
+	if d := s.eng.part.shardOf(to); d != s.id {
+		s.out[d] = append(s.out[d], shardMsg{From: from, To: to})
+		return
+	}
+	s.local = append(s.local, shardMsg{From: from, To: to})
+}
+
+// loop is the shard goroutine: run the initial acts of the owned nodes,
+// then serve incoming batches until shutdown. The token discipline mirrors
+// the goroutine engine's: the start token is retired after the initial
+// cascade, each batch's token after that batch is fully processed.
+func (s *shard) loop() {
+	defer s.eng.c.wg.Done()
+	for _, nd := range s.nodes {
+		nd.act()
+	}
+	if !s.drain() {
+		return
+	}
+	s.eng.c.done(1)
+	for {
+		select {
+		case <-s.eng.c.stop:
+			return
+		case batch := <-s.rx:
+			for _, m := range batch {
+				s.eng.nodes[m.To].receive(m.From)
+			}
+			if !s.drain() {
+				return
+			}
+			s.eng.c.done(1)
+		}
+	}
+}
+
+// drain runs the local queue to exhaustion — deliveries may enqueue
+// further local messages, so the length is re-read every iteration — and
+// then flushes the outboxes. It reports false if the engine stopped, in
+// which case the shard goroutine must exit immediately.
+func (s *shard) drain() bool {
+	for i := 0; i < len(s.local); i++ {
+		if i%drainStopCheck == 0 && s.eng.c.stopped() {
+			return false
+		}
+		m := s.local[i]
+		s.eng.nodes[m.To].receive(m.From)
+	}
+	s.local = s.local[:0]
+	return s.flush()
+}
+
+// flush sends every non-empty outbox to its destination shard as a single
+// batch. The batch's in-flight token is added before the send, so the
+// counter can never reach zero while a batch exists; the receiving shard
+// retires it after fully processing the batch.
+func (s *shard) flush() bool {
+	for d, box := range s.out {
+		if len(box) == 0 {
+			continue
+		}
+		s.eng.c.addBatches(1)
+		select {
+		case s.eng.shards[d].tx <- box:
+		case <-s.eng.c.stop:
+			return false
+		}
+		s.out[d] = nil // the batch owns its backing array now
+	}
+	return true
+}

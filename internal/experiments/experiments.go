@@ -29,6 +29,9 @@ type Suite struct {
 	Densities []float64
 	// Seeds per configuration.
 	Seeds int
+	// Engines are the dist execution engines exercised by E8; empty means
+	// both (goroutine-per-node and sharded).
+	Engines []dist.Engine
 }
 
 // Defaults returns the parameter set recorded in EXPERIMENTS.md.
@@ -46,6 +49,13 @@ func (s Suite) seeds() int {
 		return 3
 	}
 	return s.Seeds
+}
+
+func (s Suite) engines() []dist.Engine {
+	if len(s.Engines) == 0 {
+		return []dist.Engine{dist.GoroutinePerNode, dist.Sharded}
+	}
+	return s.Engines
 }
 
 // variantsFor returns constructors and invariant suites for every automaton
@@ -375,11 +385,12 @@ func E7SocialCost(s Suite) (*trace.Table, error) {
 	return tb, nil
 }
 
-// E8Distributed runs the goroutine-per-node protocols and compares their
-// work and message counts against centralized greedy executions.
+// E8Distributed runs the asynchronous protocols under every configured
+// execution engine and compares their work, message and batch counts
+// against centralized greedy executions.
 func E8Distributed(s Suite) (*trace.Table, error) {
-	tb := trace.NewTable("E8: asynchronous distributed runs (goroutine per node)",
-		"topology", "algorithm", "messages", "reversals", "centralized-reversals", "oriented")
+	tb := trace.NewTable("E8: asynchronous distributed runs",
+		"topology", "algorithm", "engine", "messages", "batches", "reversals", "centralized-reversals", "oriented")
 	topos := []*workload.Topology{
 		workload.BadChain(16),
 		workload.Grid(4, 4),
@@ -391,12 +402,6 @@ func E8Distributed(s Suite) (*trace.Table, error) {
 			return nil, err
 		}
 		for _, alg := range []dist.Algorithm{dist.FullReversal, dist.PartialReversal, dist.StaticPartialReversal} {
-			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-			res, err := dist.Run(ctx, in, alg)
-			cancel()
-			if err != nil {
-				return nil, fmt.Errorf("E8 %s/%v: %w", topo.Name, alg, err)
-			}
 			var central automaton.Automaton
 			switch alg {
 			case dist.FullReversal:
@@ -410,12 +415,21 @@ func E8Distributed(s Suite) (*trace.Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("E8 centralized %v: %w", alg, err)
 			}
-			oriented := "yes"
-			if !graph.IsDestinationOriented(res.Final, in.Destination()) {
-				oriented = "NO"
+			for _, eng := range s.engines() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				res, err := dist.RunWith(ctx, in, alg, dist.Options{Engine: eng})
+				cancel()
+				if err != nil {
+					return nil, fmt.Errorf("E8 %s/%v/%v: %w", topo.Name, alg, eng, err)
+				}
+				oriented := "yes"
+				if !graph.IsDestinationOriented(res.Final, in.Destination()) {
+					oriented = "NO"
+				}
+				tb.MustAddRow(trace.S(topo.Name), trace.S(alg.String()), trace.S(eng.String()),
+					trace.I(res.Stats.Messages), trace.I(res.Stats.Batches),
+					trace.I(res.Stats.TotalReversals), trace.I(resC.TotalReversals), trace.S(oriented))
 			}
-			tb.MustAddRow(trace.S(topo.Name), trace.S(alg.String()), trace.I(res.Stats.Messages),
-				trace.I(res.Stats.TotalReversals), trace.I(resC.TotalReversals), trace.S(oriented))
 		}
 	}
 	return tb, nil

@@ -137,11 +137,16 @@ func TestE8Distributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	engines := map[string]bool{}
 	for _, row := range tb.Rows {
-		if cellString(row[5]) != "yes" {
-			t.Errorf("distributed run not destination-oriented: %s/%s",
-				cellString(row[0]), cellString(row[1]))
+		engines[cellString(row[2])] = true
+		if cellString(row[7]) != "yes" {
+			t.Errorf("distributed run not destination-oriented: %s/%s/%s",
+				cellString(row[0]), cellString(row[1]), cellString(row[2]))
 		}
+	}
+	if !engines["goroutine-per-node"] || !engines["sharded"] {
+		t.Errorf("E8 should cover both engines by default, got %v", engines)
 	}
 }
 

@@ -10,8 +10,10 @@
 //   - Run / Config: execute any algorithm variant on a graph under a chosen
 //     scheduler, optionally checking the paper's invariants after every
 //     step, and report work and outcome.
-//   - RunDistributed: execute the protocol asynchronously with one
-//     goroutine per node over a simulated message-passing network.
+//   - RunDistributed / RunDistributedWith: execute the protocol
+//     asynchronously over a simulated message-passing network, with a
+//     goroutine per node or on a sharded worker pool that batches
+//     cross-shard traffic (see DistOptions).
 //   - VerifySimulation: drive the paper's simulation relations
 //     PR → OneStepPR → NewPR (Theorems 5.2/5.4) to quiescence and report
 //     any violation.
@@ -232,6 +234,9 @@ var (
 	// when a region's heights climbed past the ceiling, the signature of a
 	// component cut off from the destination.
 	ErrSuspectedPartition = dist.ErrHeightCeiling
+	// ErrBadDistOptions is returned by RunDistributedWith for out-of-range
+	// DistOptions values (negative shard counts, mailbox capacities, …).
+	ErrBadDistOptions = dist.ErrBadOption
 )
 
 // Config parameterizes Run.
@@ -369,10 +374,38 @@ const (
 	DistNewPR = dist.StaticPartialReversal
 )
 
+// DistEngine selects the execution engine behind RunDistributedWith: the
+// goroutine-per-node reference engine or the sharded worker-pool engine.
+type DistEngine = dist.Engine
+
+// DistPartition selects the sharded engine's node-to-shard assignment.
+type DistPartition = dist.Partition
+
+// Execution engines and partition schemes for DistOptions.
+const (
+	// DistGoroutinePerNode runs two goroutines and a mailbox per node — the
+	// reference engine, maximal per-node asynchrony, cost grows with n.
+	DistGoroutinePerNode = dist.GoroutinePerNode
+	// DistSharded partitions nodes across O(GOMAXPROCS) shard goroutines,
+	// delivers intra-shard messages without channels and batches cross-shard
+	// traffic — the engine for very large topologies.
+	DistSharded = dist.Sharded
+	// DistPartitionBlock assigns contiguous ID ranges to shards (default).
+	DistPartitionBlock = dist.PartitionBlock
+	// DistPartitionHash assigns node u to shard u mod shards.
+	DistPartitionHash = dist.PartitionHash
+)
+
+// DistOptions tunes RunDistributedWith: engine choice, shard count and
+// partition scheme, mailbox capacity, and the runaway-step slack. The zero
+// value reproduces RunDistributed's behaviour.
+type DistOptions = dist.Options
+
 // DistReport summarizes a distributed run.
 type DistReport struct {
 	Algorithm           DistAlgorithm
 	Messages            int
+	Batches             int
 	Steps               int
 	TotalReversals      int
 	Acyclic             bool
@@ -383,17 +416,26 @@ type DistReport struct {
 // RunDistributed executes the protocol with one goroutine per node over an
 // asynchronous message-passing network and returns once it quiesces.
 func RunDistributed(ctx context.Context, topo *Topology, alg DistAlgorithm) (*DistReport, error) {
+	return RunDistributedWith(ctx, topo, alg, DistOptions{})
+}
+
+// RunDistributedWith is RunDistributed with an explicit engine selection
+// and engine knobs; see DistOptions. Both engines realize legal
+// asynchronous executions of the same protocol and quiesce on identical
+// final orientations.
+func RunDistributedWith(ctx context.Context, topo *Topology, alg DistAlgorithm, opts DistOptions) (*DistReport, error) {
 	in, err := topo.Init()
 	if err != nil {
 		return nil, err
 	}
-	res, err := dist.Run(ctx, in, alg)
+	res, err := dist.RunWith(ctx, in, alg, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &DistReport{
 		Algorithm:           alg,
 		Messages:            res.Stats.Messages,
+		Batches:             res.Stats.Batches,
 		Steps:               res.Stats.Steps,
 		TotalReversals:      res.Stats.TotalReversals,
 		Acyclic:             graph.IsAcyclic(res.Final),
