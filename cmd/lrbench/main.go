@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	lrbench [-quick] [-csv] [-only E4] [-engine sharded]
+//	lrbench [-quick] [-csv|-json] [-only E4] [-engine sharded]
+//
+// With -json the selected experiments are emitted as one JSON array of
+// {title, columns, rows} table objects — the machine-readable format CI
+// archives (BENCH_dist.json) to track the performance trajectory across
+// commits.
 package main
 
 import (
@@ -27,13 +32,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lrbench", flag.ContinueOnError)
 	var (
-		quick  = fs.Bool("quick", false, "use the small parameter set")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		only   = fs.String("only", "", "run a single experiment (E1..E8)")
-		engine = fs.String("engine", "both", "dist execution engine for E8: goroutine, sharded or both")
+		quick   = fs.Bool("quick", false, "use the small parameter set")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut = fs.Bool("json", false, "emit one JSON array of table objects")
+		only    = fs.String("only", "", "run a single experiment (E1..E8)")
+		engine  = fs.String("engine", "both", "dist execution engine for E8: goroutine, sharded or both")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *csv && *jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
 	}
 	suite := experiments.Defaults()
 	if *quick {
@@ -72,6 +81,7 @@ func run(args []string) error {
 		{id: "E11", run: experiments.E11DistributedChurn},
 		{id: "E12", run: experiments.E12Exhaustive},
 	}
+	var tables []*trace.Table
 	for _, e := range all {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
 			continue
@@ -80,16 +90,23 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			tables = append(tables, tb) // emitted as one array after the loop
+			continue
+		case *csv:
 			if err := tb.RenderCSV(os.Stdout); err != nil {
 				return err
 			}
-		} else {
+		default:
 			if err := tb.Render(os.Stdout); err != nil {
 				return err
 			}
 		}
 		fmt.Println()
+	}
+	if *jsonOut {
+		return trace.WriteJSON(os.Stdout, tables)
 	}
 	return nil
 }

@@ -137,6 +137,7 @@ type Result struct {
 	Stats Stats
 	// Trace is the global linearization of node steps, in the real-time
 	// order the steps were taken. Replaying it on the matching sequential
-	// automaton (internal/core) reproduces Final exactly.
+	// automaton (internal/core) reproduces Final exactly. Trace is nil when
+	// the run was executed with Options.RecordTrace == TraceOff.
 	Trace []graph.NodeID
 }

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -34,10 +36,57 @@ type dynMsg struct {
 	H    core.Height
 }
 
-// nbrView is a node's knowledge about one live neighbour.
+// nbrView is a node's knowledge about one live neighbour or pending peer:
+// the freshest height heard (a lower bound of the true height) keyed by the
+// peer's ID. Views live in sorted slices, not maps — the hot path (sink
+// checks and height updates, once per message) only scans or binary-searches
+// them, while inserts and deletes happen on the rare churn events.
 type nbrView struct {
+	id    graph.NodeID
 	h     core.Height
 	known bool
+}
+
+// viewList is a slice of views sorted ascending by peer ID. The topology is
+// static between churn events, so lookups (per message) vastly outnumber
+// inserts and deletes (per link event); sorted-slice storage makes the
+// former allocation-free and cache-friendly and pays O(deg) movement only
+// for the latter.
+type viewList []nbrView
+
+// search returns the position of id and whether it is present.
+func (l viewList) search(id graph.NodeID) (int, bool) {
+	return slices.BinarySearchFunc(l, id, func(v nbrView, id graph.NodeID) int {
+		return cmp.Compare(v.id, id)
+	})
+}
+
+// get returns the view for id, if present.
+func (l viewList) get(id graph.NodeID) (nbrView, bool) {
+	if i, ok := l.search(id); ok {
+		return l[i], true
+	}
+	return nbrView{}, false
+}
+
+// put inserts or replaces the view for v.id, keeping the order.
+func (l *viewList) put(v nbrView) {
+	if i, ok := l.search(v.id); ok {
+		(*l)[i] = v
+	} else {
+		*l = slices.Insert(*l, i, v)
+	}
+}
+
+// remove deletes the view for id, if present, and reports whether it was.
+func (l *viewList) remove(id graph.NodeID) (nbrView, bool) {
+	i, ok := l.search(id)
+	if !ok {
+		return nbrView{}, false
+	}
+	v := (*l)[i]
+	*l = slices.Delete(*l, i, i+1)
+	return v, true
 }
 
 // DynamicNetwork runs the height-based Partial Reversal protocol
@@ -120,18 +169,17 @@ func NewDynamicNetwork(topo *workload.Topology) (*DynamicNetwork, error) {
 	}
 	for u := 0; u < n; u++ {
 		nd := &dynNode{
-			net:     d,
-			id:      graph.NodeID(u),
-			h:       d.heights[u],
-			nbrs:    make(map[graph.NodeID]nbrView),
-			pending: make(map[graph.NodeID]core.Height),
-			rx:      make(chan dynMsg),
+			net: d,
+			id:  graph.NodeID(u),
+			h:   d.heights[u],
+			rx:  make(chan dynMsg),
 		}
 		// The initial topology and heights are common knowledge at startup:
 		// every node knows its neighbours' initial heights, exactly as the
 		// sequential engines assume a globally known initial orientation.
+		// Neighbors is ascending, so appending keeps the view list sorted.
 		for _, v := range topo.Graph.Neighbors(nd.id) {
-			nd.nbrs[v] = nbrView{h: d.heights[v], known: true}
+			nd.nbrs = append(nd.nbrs, nbrView{id: v, h: d.heights[v], known: true})
 		}
 		d.wg.Add(2)
 		go func(in <-chan dynMsg, out chan<- dynMsg) {
@@ -149,13 +197,14 @@ type dynNode struct {
 	id  graph.NodeID
 	h   core.Height
 	// nbrs holds the current live neighbours and the freshest height heard
-	// from each. Stored heights are lower bounds of the true heights.
-	nbrs map[graph.NodeID]nbrView
+	// from each, sorted by ID. Stored heights are lower bounds of the true
+	// heights.
+	nbrs viewList
 	// pending buffers heights that arrived from nodes not currently
-	// neighbours (late or early deliveries around link churn); they are
-	// merged if the link (re)appears. Heights are monotone, so a stale
-	// entry is still a valid lower bound.
-	pending map[graph.NodeID]core.Height
+	// neighbours (late or early deliveries around link churn), sorted by
+	// ID; they are merged if the link (re)appears. Heights are monotone, so
+	// a stale entry is still a valid lower bound.
+	pending viewList
 	// parked mirrors net.suspended[id] locally so the per-message fast
 	// path (not a sink, never suspended) needs no lock.
 	parked bool
@@ -170,10 +219,11 @@ func (nd *dynNode) send(v graph.NodeID, m dynMsg) {
 	}
 }
 
-// merge records h as v's height if it improves on the current knowledge.
+// merge records h as the viewed peer's height if it improves on the
+// current knowledge.
 func mergeHeight(view nbrView, h core.Height) nbrView {
 	if !view.known || view.h.Less(h) {
-		return nbrView{h: h, known: true}
+		return nbrView{id: view.id, h: h, known: true}
 	}
 	return view
 }
@@ -258,8 +308,8 @@ func (nd *dynNode) act() {
 		net.inflight += len(nd.nbrs)
 		net.mu.Unlock()
 		nd.parked = false
-		for v := range nd.nbrs {
-			nd.send(v, dynMsg{Kind: dynHeight, Peer: nd.id, H: newH})
+		for _, view := range nd.nbrs {
+			nd.send(view.id, dynMsg{Kind: dynHeight, Peer: nd.id, H: newH})
 		}
 	}
 }
@@ -270,18 +320,17 @@ func (nd *dynNode) handle(m dynMsg) {
 	case dynStart, dynPoke:
 		// Nothing to record; act below re-evaluates.
 	case dynHeight:
-		if view, ok := nd.nbrs[m.Peer]; ok {
-			nd.nbrs[m.Peer] = mergeHeight(view, m.H)
-		} else if cur, ok := nd.pending[m.Peer]; !ok || cur.Less(m.H) {
-			nd.pending[m.Peer] = m.H
+		if i, ok := nd.nbrs.search(m.Peer); ok {
+			nd.nbrs[i] = mergeHeight(nd.nbrs[i], m.H)
+		} else if cur, ok := nd.pending.get(m.Peer); !ok || cur.h.Less(m.H) {
+			nd.pending.put(nbrView{id: m.Peer, h: m.H, known: true})
 		}
 	case dynLinkUp:
-		view := nbrView{}
-		if h, ok := nd.pending[m.Peer]; ok {
-			view = nbrView{h: h, known: true}
-			delete(nd.pending, m.Peer)
+		view := nbrView{id: m.Peer}
+		if p, ok := nd.pending.remove(m.Peer); ok {
+			view = p
 		}
-		nd.nbrs[m.Peer] = view
+		nd.nbrs.put(view)
 		// Introduce ourselves so the peer can orient the new link.
 		nd.net.mu.Lock()
 		nd.net.stats.Messages++
@@ -289,7 +338,7 @@ func (nd *dynNode) handle(m dynMsg) {
 		nd.net.mu.Unlock()
 		nd.send(m.Peer, dynMsg{Kind: dynHeight, Peer: nd.id, H: nd.h})
 	case dynLinkDown:
-		delete(nd.nbrs, m.Peer)
+		nd.nbrs.remove(m.Peer)
 	}
 	nd.act()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
@@ -11,12 +12,13 @@ import (
 
 // nodeEnv is a protocol node's view of its engine: announce records the
 // beginning of a step, deliver routes one reversal message toward another
-// node. Implementations must guarantee that a message handed to deliver
-// during a step is received only after that step's announce returned — the
-// property that makes the recorded trace a legal sequential execution.
+// node (slot is the receiver-side neighbour slot of the sender).
+// Implementations must guarantee that a message handed to deliver during a
+// step is received only after that step's announce returned — the property
+// that makes a recorded trace a legal sequential execution.
 type nodeEnv interface {
 	announce(u graph.NodeID, targets int)
-	deliver(from, to graph.NodeID)
+	deliver(to graph.NodeID, slot int32)
 }
 
 // engine is one execution strategy for RunWith. start launches the engine's
@@ -29,77 +31,114 @@ type engine interface {
 }
 
 // runCore is the accounting shared by all engines of one RunWith
-// invocation. All mutable fields are guarded by mu; the channels coordinate
-// shutdown and quiescence.
+// invocation. The hot-path counters — statistics and the in-flight token
+// count that detects quiescence — are plain atomics, so steps on different
+// shards or nodes never serialize through a lock. Only the optional trace
+// (and the failure slot) sit behind mu: when Options.RecordTrace is off,
+// the mutex is never taken after construction.
 type runCore struct {
-	mu       sync.Mutex
-	inflight int
-	stats    Stats
-	trace    []graph.NodeID
-	failure  error
+	inflight  atomic.Int64
+	steps     atomic.Int64
+	reversals atomic.Int64
+	messages  atomic.Int64
+	batches   atomic.Int64
 
-	stepLimit int
+	stepLimit   int64
+	recordTrace bool
+
+	mu      sync.Mutex // guards trace and failure only
+	trace   []graph.NodeID
+	failure error
+
 	quietOnce sync.Once
 	quiet     chan struct{} // closed when inflight first reaches zero
 	stop      chan struct{} // closed to terminate all goroutines
 	wg        sync.WaitGroup
 }
 
-func newRunCore(stepLimit, startTokens int) *runCore {
-	return &runCore{
-		stepLimit: stepLimit,
-		inflight:  startTokens,
-		quiet:     make(chan struct{}),
-		stop:      make(chan struct{}),
+func newRunCore(stepLimit int64, startTokens int, recordTrace bool) *runCore {
+	c := &runCore{
+		stepLimit:   stepLimit,
+		recordTrace: recordTrace,
+		quiet:       make(chan struct{}),
+		stop:        make(chan struct{}),
 	}
+	c.inflight.Store(int64(startTokens))
+	return c
 }
 
 // record marks the beginning of a step by node u that reverses the edges to
-// targets neighbours: it appends the step to the global linearization,
-// updates the statistics, and adds credit in-flight tokens and batches
-// transport batches. The goroutine-per-node engine credits one token and
-// one batch per message; the sharded engine passes zero for both and
-// accounts whole batches at flush time instead. The caller must hand the
-// step's messages to the transport only after record returns: recording
-// before sending is what makes the trace a legal sequential execution — any
-// later step enabled by one of these reversals happens after its message is
-// delivered, hence after this append.
+// targets neighbours: it appends the step to the global linearization (when
+// trace recording is on), updates the statistics, and adds credit in-flight
+// tokens and batches transport batches. The goroutine-per-node engine
+// credits one token and one batch per message; the sharded engine passes
+// zero for both and accounts whole batches at flush time instead. The
+// caller must hand the step's messages to the transport only after record
+// returns: recording before sending is what makes the trace a legal
+// sequential execution — any later step enabled by one of these reversals
+// happens after its message is delivered, hence after this append. The
+// credit is added while the caller still holds the token it is processing
+// under, so the in-flight count cannot touch zero here.
 func (c *runCore) record(u graph.NodeID, targets, credit, batches int) {
+	if c.recordTrace {
+		c.mu.Lock()
+		c.trace = append(c.trace, u)
+		c.mu.Unlock()
+	}
+	steps := c.steps.Add(1)
+	c.reversals.Add(int64(targets))
+	c.messages.Add(int64(targets))
+	if batches > 0 {
+		c.batches.Add(int64(batches))
+	}
+	if credit > 0 {
+		c.inflight.Add(int64(credit))
+	}
+	if steps > c.stepLimit {
+		c.fail(fmt.Errorf("%w: %d steps", ErrStepLimit, steps))
+	}
+}
+
+// fail records the first failure and forces the run to unblock.
+func (c *runCore) fail(err error) {
 	c.mu.Lock()
-	c.trace = append(c.trace, u)
-	c.stats.Steps++
-	c.stats.TotalReversals += targets
-	c.stats.Messages += targets
-	c.stats.Batches += batches
-	c.inflight += credit
-	if c.stats.Steps > c.stepLimit && c.failure == nil {
-		c.failure = fmt.Errorf("%w: %d steps", ErrStepLimit, c.stats.Steps)
-		c.quietOnce.Do(func() { close(c.quiet) })
+	if c.failure == nil {
+		c.failure = err
 	}
 	c.mu.Unlock()
+	c.quietOnce.Do(func() { close(c.quiet) })
 }
 
 // addBatches accounts n message batches about to enter the transport: one
-// in-flight token per batch, added before the batch is sent so the counter
-// can never reach zero while a batch exists.
+// in-flight token per batch, added before the batch is sent — and while the
+// sending shard still holds its own unretired token — so the counter can
+// never reach zero while a batch exists.
 func (c *runCore) addBatches(n int) {
-	c.mu.Lock()
-	c.inflight += n
-	c.stats.Batches += n
-	c.mu.Unlock()
+	c.inflight.Add(int64(n))
+	c.batches.Add(int64(n))
 }
 
 // done retires n in-flight tokens and closes quiet when none remain. A
 // token is retired only after its holder has fully processed the message or
-// batch it stands for (including any steps it triggered), so inflight == 0
-// implies every view is exact and no node is a sink: global quiescence.
+// batch it stands for (including any steps it triggered), so the count
+// hitting zero implies every view is exact and no node is a sink: global
+// quiescence. The atomic decrement observes zero in exactly one goroutine,
+// which closes quiet.
 func (c *runCore) done(n int) {
-	c.mu.Lock()
-	c.inflight -= n
-	if c.inflight == 0 {
+	if c.inflight.Add(int64(-n)) == 0 {
 		c.quietOnce.Do(func() { close(c.quiet) })
 	}
-	c.mu.Unlock()
+}
+
+// snapshot assembles the Stats from the atomic counters. Callers must
+// ensure the run has quiesced (or all goroutines exited).
+func (c *runCore) snapshot() Stats {
+	return Stats{
+		Messages:       int(c.messages.Load()),
+		Batches:        int(c.batches.Load()),
+		Steps:          int(c.steps.Load()),
+		TotalReversals: int(c.reversals.Load()),
+	}
 }
 
 // stopped reports whether the engine has been told to shut down, without
@@ -115,9 +154,10 @@ func (c *runCore) stopped() bool {
 
 // RunWith executes alg on in's topology under the engine selected by opts
 // until global quiescence and returns the final orientation, cost
-// statistics and the linearized step trace. It returns ctx.Err() if the
-// context is cancelled first — cancellation propagates into the engine's
-// stop path mid-run, it does not wait for quiescence.
+// statistics and — unless opts.RecordTrace is TraceOff — the linearized
+// step trace. It returns ctx.Err() if the context is cancelled first —
+// cancellation propagates into the engine's stop path mid-run, it does not
+// wait for quiescence.
 func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*Result, error) {
 	switch alg {
 	case FullReversal, PartialReversal, StaticPartialReversal:
@@ -136,18 +176,19 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 	// NewPR takes at most one dummy step per real step, and sequential
 	// executions are bounded well under 100·n²+100 steps; double that
 	// factor so hitting the limit can only mean an engine bug.
-	limit := 200*n*n + opts.StepLimitSlack
+	limit := 200*int64(n)*int64(n) + int64(opts.StepLimitSlack)
+	record := opts.RecordTrace == TraceRecorded
 	var (
 		c   *runCore
 		eng engine
 	)
 	switch opts.Engine {
 	case GoroutinePerNode:
-		c = newRunCore(limit, n) // one start token per node
+		c = newRunCore(limit, n, record) // one start token per node
 		eng = newNodeEngine(c, in, alg, opts)
 	case Sharded:
 		shards := min(opts.Shards, n)
-		c = newRunCore(limit, shards) // one start token per shard
+		c = newRunCore(limit, shards, record) // one start token per shard
 		eng = newShardEngine(c, in, alg, opts, shards)
 	}
 	eng.start()
@@ -173,7 +214,7 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 	}
 	directed := make([][2]graph.NodeID, 0, g.NumEdges())
 	for _, e := range g.Edges() {
-		if eng.node(e.U).incoming[e.V] {
+		if eng.node(e.U).incomingTo(e.V) {
 			directed = append(directed, [2]graph.NodeID{e.V, e.U})
 		} else {
 			directed = append(directed, [2]graph.NodeID{e.U, e.V})
@@ -183,5 +224,5 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("dist: reassemble final orientation: %w", err)
 	}
-	return &Result{Final: final, Stats: c.stats, Trace: c.trace}, nil
+	return &Result{Final: final, Stats: c.snapshot(), Trace: c.trace}, nil
 }

@@ -48,6 +48,7 @@ func TestOptionsValidation(t *testing.T) {
 		{Shards: -1},
 		{MailboxCap: -3},
 		{StepLimitSlack: -1},
+		{RecordTrace: Trace(42)},
 	}
 	for _, opts := range bad {
 		if _, err := RunWith(context.Background(), in, FullReversal, opts); !errors.Is(err, ErrBadOption) {
@@ -60,6 +61,8 @@ func TestOptionsValidation(t *testing.T) {
 		{Engine: Sharded, Shards: 64, Partition: PartitionHash}, // shards > nodes: clamped
 		{MailboxCap: 1, StepLimitSlack: 1000},
 		{Engine: Sharded, Shards: 2, MailboxCap: 1},
+		{RecordTrace: TraceOff},
+		{Engine: Sharded, RecordTrace: TraceOff},
 	}
 	for _, opts := range good {
 		res, err := RunWith(context.Background(), in, FullReversal, opts)
@@ -244,6 +247,12 @@ func TestEngineStrings(t *testing.T) {
 	}
 	if Partition(42).String() != "Partition(42)" {
 		t.Errorf("unknown partition string = %q", Partition(42).String())
+	}
+	if TraceRecorded.String() != "trace-recorded" || TraceOff.String() != "trace-off" {
+		t.Error("trace strings wrong")
+	}
+	if Trace(42).String() != "Trace(42)" {
+		t.Errorf("unknown trace string = %q", Trace(42).String())
 	}
 }
 

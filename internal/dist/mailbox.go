@@ -9,10 +9,25 @@ package dist
 // never blocks its peers' sends, which is what rules out the send/receive
 // deadlock cycles a direct buffered channel mesh would allow — for nodes
 // and just the same for shards exchanging batches.
+//
+// The queue is a slice window tracked by a head index rather than re-sliced
+// (queue = queue[1:]) on every pop: re-slicing moves the window's base and
+// permanently consumes backing capacity, which degenerates into one
+// allocation per message once the initial capacity is used up. The window
+// is rewound when the queue drains and compacted whenever the consumed
+// prefix reaches half the length (amortized O(1) per message), so one
+// backing array is reused at the *live* high-water mark even if the queue
+// never fully empties, and consumed entries don't pin their referents.
 func mailbox[M any](in <-chan M, out chan<- M, stop <-chan struct{}) {
 	var queue []M
+	head := 0
 	for {
-		if len(queue) == 0 {
+		if head == len(queue) {
+			if head > 0 {
+				clear(queue) // drop references so queued pointers don't pin memory
+				queue = queue[:0]
+				head = 0
+			}
 			select {
 			case m := <-in:
 				queue = append(queue, m)
@@ -21,11 +36,17 @@ func mailbox[M any](in <-chan M, out chan<- M, stop <-chan struct{}) {
 			}
 			continue
 		}
+		if head > 32 && head*2 >= len(queue) {
+			n := copy(queue, queue[head:])
+			clear(queue[n:])
+			queue = queue[:n]
+			head = 0
+		}
 		select {
 		case m := <-in:
 			queue = append(queue, m)
-		case out <- queue[0]:
-			queue = queue[1:]
+		case out <- queue[head]:
+			head++
 		case <-stop:
 			return
 		}

@@ -72,6 +72,38 @@ func (p Partition) String() string {
 	}
 }
 
+// Trace selects whether RunWith records the global step linearization.
+type Trace int
+
+const (
+	// TraceRecorded (the default) appends every step to a shared,
+	// mutex-guarded trace before any of the step's messages moves, so
+	// Result.Trace is a legal sequential execution that replays verbatim on
+	// the internal/core automata — the cross-check used by the verification
+	// suites.
+	TraceRecorded Trace = iota + 1
+	// TraceOff disables trace recording: steps touch only atomic counters,
+	// removing the last lock from the hot path, and no O(steps) trace slice
+	// is retained — which is what makes million-node runs fit in memory.
+	// Result.Trace is nil; the final orientation and Stats are unaffected
+	// (link reversal is confluent, so they are functions of the input
+	// alone). What is lost is replayability: without the trace there is
+	// nothing to feed the sequential cross-check.
+	TraceOff
+)
+
+// String implements fmt.Stringer.
+func (t Trace) String() string {
+	switch t {
+	case TraceRecorded:
+		return "trace-recorded"
+	case TraceOff:
+		return "trace-off"
+	default:
+		return fmt.Sprintf("Trace(%d)", int(t))
+	}
+}
+
 // ErrBadOption is returned by RunWith for out-of-range Options values.
 var ErrBadOption = errors.New("dist: invalid option")
 
@@ -103,6 +135,12 @@ type Options struct {
 	// MailboxCap is the buffer size of each mailbox ingress channel
 	// (per node for GoroutinePerNode, per shard for Sharded); 0 means 64.
 	MailboxCap int
+	// RecordTrace selects whether the run records the global step
+	// linearization; 0 means TraceRecorded. Set TraceOff for
+	// production-scale runs: it drops the only lock on the hot path and the
+	// O(steps) trace memory, at the price of Result.Trace (and with it the
+	// sequential replay cross-check).
+	RecordTrace Trace
 	// StepLimitSlack is the additive slack of the runaway-step budget
 	// 200·n² + slack; 0 means 200. Exceeding the budget aborts the run
 	// with ErrStepLimit — it indicates an engine bug, not a property of
@@ -132,6 +170,13 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Shards == 0 {
 		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	switch o.RecordTrace {
+	case 0:
+		o.RecordTrace = TraceRecorded
+	case TraceRecorded, TraceOff:
+	default:
+		return o, fmt.Errorf("%w: trace mode %d", ErrBadOption, int(o.RecordTrace))
 	}
 	if o.MailboxCap < 0 {
 		return o, fmt.Errorf("%w: mailbox capacity %d", ErrBadOption, o.MailboxCap)

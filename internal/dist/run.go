@@ -3,147 +3,225 @@ package dist
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
 )
 
-// reverseMsg announces that From reversed the shared edge, which now points
-// toward the receiver. It is the only message kind of the static engines:
-// for the height-based variants it plays the role of the height
-// announcement, and for list-based PR it additionally means "add From to
-// your list".
+// reverseMsg announces that a neighbour reversed the shared edge, which now
+// points toward the receiver. Slot is the *receiver-side* neighbour slot of
+// the sender — the index i with receiver.nbrs[i] == sender — precomputed
+// once at engine construction, so applying the message is a pair of slice
+// writes with no lookup of any kind. It is the only message kind of the
+// static engines: for the height-based variants it plays the role of the
+// height announcement, and for list-based PR it additionally means "add the
+// neighbour at Slot to your list".
 type reverseMsg struct {
-	From graph.NodeID
+	Slot int32
 }
 
-// runNode is the per-node protocol state, shared by every engine. The
-// engine behind env decides how announce/deliver are realized; the
-// protocol rules below are engine independent.
+// runNode is the per-node protocol state, shared by every engine. All views
+// are flat slices parallel to nbrs (slot-indexed, no maps), with their
+// backing arrays shared across the whole topology, so a million-node run
+// costs a constant number of allocations rather than O(n) maps. The engine
+// behind the nodeEnv passed to act/receive decides how announce/deliver are
+// realized; the protocol rules below are engine independent.
 type runNode struct {
-	env  nodeEnv
-	id   graph.NodeID
-	dest graph.NodeID
-	alg  Algorithm
-	// nbrs is the fixed neighbourhood in G.
+	id     graph.NodeID
+	alg    Algorithm
+	isDest bool
+	// nbrs is the fixed neighbourhood in G, ascending (shared with the
+	// graph's adjacency storage).
 	nbrs []graph.NodeID
-	// incoming[v] is this node's view of edge {id, v}: true if it points
-	// toward id. Views marked incoming are always truthful; views marked
-	// outgoing may lag behind an undelivered reverseMsg.
-	incoming map[graph.NodeID]bool
-	// list is PR's list[u]: neighbours that reversed toward this node since
-	// its last step.
-	list map[graph.NodeID]bool
+	// peerSlot[i] is this node's slot in nbrs[i]'s neighbourhood: the Slot a
+	// reverseMsg to nbrs[i] must carry so the receiver locates the shared
+	// edge in O(1).
+	peerSlot []int32
+	// incoming[i] is this node's view of edge {id, nbrs[i]}: true if it
+	// points toward id. Views marked incoming are always truthful; views
+	// marked outgoing may lag behind an undelivered reverseMsg.
+	incoming []bool
+	// inCount is the number of true entries of incoming, maintained
+	// incrementally so the sink check is O(1) instead of O(deg).
+	inCount int
+	// list is PR's list[u] as a slot-indexed bitmap parallel to nbrs:
+	// neighbours that reversed toward this node since its last step.
+	// listCount is the number of true entries. nil for the other variants.
+	list      []bool
+	listCount int
 	// count is NewPR's step counter; its parity selects the reversal set.
 	count int
-	// initIn and initOut are NewPR's immutable initial neighbour sets.
-	initIn, initOut []graph.NodeID
+	// initIn and initOut are NewPR's immutable initial neighbour sets as
+	// slot indices into nbrs.
+	initIn, initOut []int32
 }
 
-func newRunNode(env nodeEnv, in *core.Init, alg Algorithm, id graph.NodeID, initial *graph.Orientation) *runNode {
-	nbrs := in.Graph().Neighbors(id)
-	nd := &runNode{
-		env:      env,
-		id:       id,
-		dest:     in.Destination(),
-		alg:      alg,
-		nbrs:     nbrs,
-		incoming: make(map[graph.NodeID]bool, len(nbrs)),
+// slotOf returns the index of v in the ascending neighbour list nbrs. It is
+// used only off the hot path (construction and final reassembly); messages
+// carry precomputed slots.
+func slotOf(nbrs []graph.NodeID, v graph.NodeID) int32 {
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	if i == len(nbrs) || nbrs[i] != v {
+		panic(fmt.Sprintf("dist: %d is not a neighbour", v))
 	}
-	for _, v := range nbrs {
-		nd.incoming[v] = initial.PointsTo(v, id)
+	return int32(i)
+}
+
+// newRunNodes builds the flat node-state table shared by both engines: one
+// runNode per node, with every per-node view sliced out of a handful of
+// topology-sized backing arrays. The peer-slot table is derived from the
+// core.Init adjacency once, here, which is what lets every delivered
+// message skip the neighbour lookup forever after.
+func newRunNodes(in *core.Init, alg Algorithm) []runNode {
+	g := in.Graph()
+	n := g.NumNodes()
+	dest := in.Destination()
+	initial := in.InitialOrientation()
+	totalDeg := 2 * g.NumEdges()
+
+	nodes := make([]runNode, n)
+	flatSlots := make([]int32, totalDeg)
+	flatIncoming := make([]bool, totalDeg)
+	var flatList []bool
+	var flatParity []int32
+	if alg == PartialReversal {
+		flatList = make([]bool, totalDeg)
 	}
-	switch alg {
-	case PartialReversal:
-		nd.list = make(map[graph.NodeID]bool, len(nbrs))
-	case StaticPartialReversal:
-		nd.initIn = in.InNbrs(id)
-		nd.initOut = in.OutNbrs(id)
+	if alg == StaticPartialReversal {
+		flatParity = make([]int32, totalDeg)
 	}
-	return nd
+
+	off := 0
+	for u := 0; u < n; u++ {
+		id := graph.NodeID(u)
+		nbrs := g.Neighbors(id)
+		deg := len(nbrs)
+		nd := &nodes[u]
+		nd.id = id
+		nd.alg = alg
+		nd.isDest = id == dest
+		nd.nbrs = nbrs
+		nd.peerSlot = flatSlots[off : off+deg : off+deg]
+		nd.incoming = flatIncoming[off : off+deg : off+deg]
+		for i, v := range nbrs {
+			nd.peerSlot[i] = slotOf(g.Neighbors(v), id)
+			if initial.PointsTo(v, id) {
+				nd.incoming[i] = true
+				nd.inCount++
+			}
+		}
+		switch alg {
+		case PartialReversal:
+			nd.list = flatList[off : off+deg : off+deg]
+		case StaticPartialReversal:
+			in0 := in.InNbrs(id)
+			parity := flatParity[off : off+deg : off+deg]
+			for i, v := range in0 {
+				parity[i] = slotOf(nbrs, v)
+			}
+			for i, v := range in.OutNbrs(id) {
+				parity[len(in0)+i] = slotOf(nbrs, v)
+			}
+			nd.initIn = parity[:len(in0)]
+			nd.initOut = parity[len(in0):]
+		}
+		off += deg
+	}
+	return nodes
 }
 
 // viewSink reports whether this node believes it is an enabled sink: not
 // the destination, at least one neighbour, and every incident edge
 // incoming in its view.
 func (nd *runNode) viewSink() bool {
-	if nd.id == nd.dest || len(nd.nbrs) == 0 {
-		return false
-	}
-	for _, v := range nd.nbrs {
-		if !nd.incoming[v] {
-			return false
-		}
-	}
-	return true
+	return !nd.isDest && len(nd.nbrs) > 0 && nd.inCount == len(nd.nbrs)
 }
 
-// reversalSet returns the neighbours whose edges this step reverses,
-// following the variant's rule. For PR and NewPR the returned set may need
-// post-step bookkeeping, handled in step.
-func (nd *runNode) reversalSet() []graph.NodeID {
+// incomingTo returns this node's view of the edge to neighbour v. Used only
+// for the final reassembly after quiescence.
+func (nd *runNode) incomingTo(v graph.NodeID) bool {
+	return nd.incoming[slotOf(nd.nbrs, v)]
+}
+
+// step performs one reversal step, selecting the reversed slots by the
+// variant's rule. The caller has checked viewSink, so every incident edge
+// truly points toward this node and the reversals below are valid automaton
+// transitions. The step is announced before any of its messages is handed
+// to the engine, and all view flags are cleared before the first deliver —
+// the same step atomicity the map-based implementation had.
+func (nd *runNode) step(env nodeEnv) {
 	switch nd.alg {
 	case FullReversal:
-		return nd.nbrs
-	case PartialReversal:
-		if len(nd.list) == len(nd.nbrs) {
-			return nd.nbrs
+		env.announce(nd.id, len(nd.nbrs))
+		clear(nd.incoming)
+		nd.inCount = 0
+		for i, v := range nd.nbrs {
+			env.deliver(v, nd.peerSlot[i])
 		}
-		targets := make([]graph.NodeID, 0, len(nd.nbrs)-len(nd.list))
-		for _, v := range nd.nbrs {
-			if !nd.list[v] {
-				targets = append(targets, v)
+	case PartialReversal:
+		full := nd.listCount == len(nd.nbrs)
+		targets := len(nd.nbrs) - nd.listCount
+		if full {
+			targets = len(nd.nbrs)
+		}
+		env.announce(nd.id, targets)
+		for i := range nd.nbrs {
+			if full || !nd.list[i] {
+				nd.incoming[i] = false
 			}
 		}
-		return targets
-	case StaticPartialReversal:
-		if nd.count%2 == 0 {
-			return nd.initIn
+		nd.inCount -= targets
+		for i, v := range nd.nbrs {
+			if full || !nd.list[i] {
+				env.deliver(v, nd.peerSlot[i])
+			}
+			nd.list[i] = false
 		}
-		return nd.initOut
-	default:
-		panic(fmt.Sprintf("dist: reversalSet on %v", nd.alg))
-	}
-}
-
-// step performs one reversal step. The caller has checked viewSink, so
-// every incident edge truly points toward this node and the reversals
-// below are valid automaton transitions. The step is announced before any
-// of its messages is handed to the engine.
-func (nd *runNode) step() {
-	targets := nd.reversalSet()
-	nd.env.announce(nd.id, len(targets))
-	for _, v := range targets {
-		nd.incoming[v] = false
-	}
-	switch nd.alg {
-	case PartialReversal:
-		clear(nd.list)
+		nd.listCount = 0
 	case StaticPartialReversal:
+		slots := nd.initIn
+		if nd.count%2 == 1 {
+			slots = nd.initOut
+		}
 		nd.count++
-	}
-	for _, v := range targets {
-		nd.env.deliver(nd.id, v)
+		env.announce(nd.id, len(slots))
+		for _, i := range slots {
+			nd.incoming[i] = false
+		}
+		nd.inCount -= len(slots)
+		for _, i := range slots {
+			env.deliver(nd.nbrs[i], nd.peerSlot[i])
+		}
+	default:
+		panic(fmt.Sprintf("dist: step on %v", nd.alg))
 	}
 }
 
 // act steps while this node believes it is a sink. FullReversal and
 // PartialReversal steps always produce an outgoing edge, so the loop runs
 // at most once; StaticPartialReversal may take one dummy parity step first.
-func (nd *runNode) act() {
+func (nd *runNode) act(env nodeEnv) {
 	for nd.viewSink() {
-		nd.step()
+		nd.step(env)
 	}
 }
 
-// receive applies one reversal announcement from a neighbour and takes any
-// steps it enables. Engines call it with full ownership of the node.
-func (nd *runNode) receive(from graph.NodeID) {
-	nd.incoming[from] = true
-	if nd.list != nil {
-		nd.list[from] = true
+// receive applies one reversal announcement from the neighbour at slot and
+// takes any steps it enables. Engines call it with full ownership of the
+// node. The guards keep the counters exact under message duplication (the
+// current transports never duplicate, but the safety argument tolerates
+// it).
+func (nd *runNode) receive(env nodeEnv, slot int32) {
+	if !nd.incoming[slot] {
+		nd.incoming[slot] = true
+		nd.inCount++
 	}
-	nd.act()
+	if nd.list != nil && !nd.list[slot] {
+		nd.list[slot] = true
+		nd.listCount++
+	}
+	nd.act(env)
 }
 
 // nodeEngine is the goroutine-per-node reference engine: one protocol
@@ -151,7 +229,7 @@ func (nd *runNode) receive(from graph.NodeID) {
 // alone through the receiver's mailbox channel.
 type nodeEngine struct {
 	c     *runCore
-	nodes []*runNode
+	nodes []runNode
 	// tx[u] is the ingress channel of u's mailbox; rx[u] the pump's output.
 	tx, rx []chan reverseMsg
 }
@@ -165,20 +243,18 @@ func newNodeEngine(c *runCore, in *core.Init, alg Algorithm, opts Options) *node
 	n := in.Graph().NumNodes()
 	e := &nodeEngine{
 		c:     c,
-		nodes: make([]*runNode, n),
+		nodes: newRunNodes(in, alg),
 		tx:    make([]chan reverseMsg, n),
 		rx:    make([]chan reverseMsg, n),
 	}
-	initial := in.InitialOrientation()
 	for u := 0; u < n; u++ {
-		e.nodes[u] = newRunNode(e, in, alg, graph.NodeID(u), initial)
 		e.tx[u] = make(chan reverseMsg, opts.MailboxCap)
 		e.rx[u] = make(chan reverseMsg)
 	}
 	return e
 }
 
-func (e *nodeEngine) node(u graph.NodeID) *runNode { return e.nodes[u] }
+func (e *nodeEngine) node(u graph.NodeID) *runNode { return &e.nodes[u] }
 
 // announce credits one in-flight token (and one singleton transport batch)
 // per message of the step.
@@ -188,9 +264,9 @@ func (e *nodeEngine) announce(u graph.NodeID, targets int) {
 
 // deliver sends the message to node to's mailbox, giving up if the engine
 // stops.
-func (e *nodeEngine) deliver(from, to graph.NodeID) {
+func (e *nodeEngine) deliver(to graph.NodeID, slot int32) {
 	select {
-	case e.tx[to] <- reverseMsg{From: from}:
+	case e.tx[to] <- reverseMsg{Slot: slot}:
 	case <-e.c.stop:
 	}
 }
@@ -198,7 +274,7 @@ func (e *nodeEngine) deliver(from, to graph.NodeID) {
 func (e *nodeEngine) start() {
 	for u := range e.nodes {
 		e.c.wg.Add(2)
-		nd := e.nodes[u]
+		nd := &e.nodes[u]
 		go func(in <-chan reverseMsg, out chan<- reverseMsg) {
 			defer e.c.wg.Done()
 			mailbox(in, out, e.c.stop)
@@ -211,14 +287,14 @@ func (e *nodeEngine) start() {
 // until shutdown.
 func (e *nodeEngine) loop(nd *runNode, rx <-chan reverseMsg) {
 	defer e.c.wg.Done()
-	nd.act()
+	nd.act(e)
 	e.c.done(1)
 	for {
 		select {
 		case <-e.c.stop:
 			return
 		case m := <-rx:
-			nd.receive(m.From)
+			nd.receive(e, m.Slot)
 			e.c.done(1)
 		}
 	}

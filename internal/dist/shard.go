@@ -1,14 +1,28 @@
 package dist
 
 import (
+	"sync"
+
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
 )
 
 // shardMsg is one reversal announcement in transit inside the sharded
-// engine: From reversed the shared edge, which now points toward To.
+// engine: some neighbour of To reversed the shared edge, which now points
+// toward To. Slot is the receiver-side neighbour slot of the sender (see
+// reverseMsg), so delivery is two slice writes with no lookup.
 type shardMsg struct {
-	From, To graph.NodeID
+	To   graph.NodeID
+	Slot int32
+}
+
+// batch is a reusable buffer of cross-shard messages. Batches circulate
+// through the engine's pool: a sender takes one when it first writes to an
+// outbox, and the receiving shard hands it back after processing, so the
+// steady state allocates nothing per flush — the backing arrays are
+// recycled at whatever capacity the traffic grew them to.
+type batch struct {
+	msgs []shardMsg
 }
 
 // drainStopCheck is how many local deliveries a shard processes between
@@ -41,17 +55,19 @@ func (p partitioner) shardOf(u graph.NodeID) int {
 // Each shard owns its nodes' protocol state outright, so intra-shard
 // messages are delivered through a plain slice run-queue with no channel or
 // lock on the path; only cross-shard traffic touches the transport, and it
-// travels in per-destination batches. Quiescence detection counts batches
-// instead of messages: the in-flight tokens are one start token per shard
-// plus one token per batch in transit, and a shard retires the token it
-// holds only after its entire local cascade has run dry and its outboxes
-// are flushed. Goroutine count is 2·shards (one loop plus one mailbox pump
-// each), independent of the node count.
+// travels in per-destination batches drawn from a shared pool. Quiescence
+// detection counts batches instead of messages: the in-flight tokens are
+// one start token per shard plus one token per batch in transit, and a
+// shard retires the token it holds only after its entire local cascade has
+// run dry and its outboxes are flushed. Goroutine count is 2·shards (one
+// loop plus one mailbox pump each), independent of the node count.
 type shardEngine struct {
 	c      *runCore
 	part   partitioner
-	nodes  []*runNode
+	nodes  []runNode
 	shards []*shard
+	// pool recycles flushed batch buffers: senders take, receivers return.
+	pool sync.Pool
 }
 
 var _ engine = (*shardEngine)(nil)
@@ -61,29 +77,27 @@ func newShardEngine(c *runCore, in *core.Init, alg Algorithm, opts Options, shar
 	e := &shardEngine{
 		c:      c,
 		part:   newPartitioner(opts.Partition, n, shards),
-		nodes:  make([]*runNode, n),
+		nodes:  newRunNodes(in, alg),
 		shards: make([]*shard, shards),
 	}
+	e.pool.New = func() any { return new(batch) }
 	for i := range e.shards {
 		e.shards[i] = &shard{
 			eng: e,
 			id:  i,
-			out: make([][]shardMsg, shards),
-			tx:  make(chan []shardMsg, opts.MailboxCap),
-			rx:  make(chan []shardMsg),
+			out: make([]*batch, shards),
+			tx:  make(chan *batch, opts.MailboxCap),
+			rx:  make(chan *batch),
 		}
 	}
-	initial := in.InitialOrientation()
 	for u := 0; u < n; u++ {
 		s := e.shards[e.part.shardOf(graph.NodeID(u))]
-		nd := newRunNode(s, in, alg, graph.NodeID(u), initial)
-		e.nodes[u] = nd
-		s.nodes = append(s.nodes, nd)
+		s.nodes = append(s.nodes, &e.nodes[u])
 	}
 	return e
 }
 
-func (e *shardEngine) node(u graph.NodeID) *runNode { return e.nodes[u] }
+func (e *shardEngine) node(u graph.NodeID) *runNode { return &e.nodes[u] }
 
 func (e *shardEngine) start() {
 	for _, s := range e.shards {
@@ -96,6 +110,16 @@ func (e *shardEngine) start() {
 	}
 }
 
+// getBatch takes an empty batch from the pool; recycle returns a processed
+// one. The interface conversion is free (batches travel as pointers), so
+// neither direction allocates in the steady state.
+func (e *shardEngine) getBatch() *batch { return e.pool.Get().(*batch) }
+
+func (e *shardEngine) recycle(b *batch) {
+	b.msgs = b.msgs[:0]
+	e.pool.Put(b)
+}
+
 // shard is one worker of the sharded engine. Its fields are owned by the
 // shard goroutine; nodes' views are read by RunWith only after the
 // WaitGroup drained.
@@ -105,47 +129,55 @@ type shard struct {
 	// nodes are the protocol nodes this shard owns.
 	nodes []*runNode
 	// local is the run-queue of intra-shard deliveries, appended by deliver
-	// and consumed in FIFO order by drain.
+	// and consumed in FIFO order by drain. Its backing array is reused
+	// across drains.
 	local []shardMsg
-	// out[d] is the outbox of messages bound for shard d, flushed as one
-	// batch per destination when the local cascade runs dry.
-	out [][]shardMsg
+	// out[d] is the outbox of messages bound for shard d — a pooled batch,
+	// taken lazily on first write and handed off whole at flush.
+	out []*batch
 	// tx is the ingress channel of this shard's mailbox; rx the pump's
 	// output.
-	tx, rx chan []shardMsg
+	tx, rx chan *batch
 }
 
 var _ nodeEnv = (*shard)(nil)
 
-// announce records one step by a node of this shard. Steps are appended to
-// the shared trace under the core mutex before any of their messages moves
-// (the run-queue and outboxes are drained only after announce returns), so
-// the linearization argument of the goroutine engine carries over
-// unchanged. No per-message in-flight credit is taken: intra-shard
-// deliveries finish before the shard retires the token it currently holds,
-// and cross-shard batches take their own token at flush time.
+// announce records one step by a node of this shard. When trace recording
+// is on, steps are appended to the shared trace under the core mutex before
+// any of their messages moves (the run-queue and outboxes are drained only
+// after announce returns), so the linearization argument of the goroutine
+// engine carries over unchanged. No per-message in-flight credit is taken:
+// intra-shard deliveries finish before the shard retires the token it
+// currently holds, and cross-shard batches take their own token at flush
+// time.
 func (s *shard) announce(u graph.NodeID, targets int) {
 	s.eng.c.record(u, targets, 0, 0)
 }
 
 // deliver routes one reversal message: same shard → local run-queue,
 // otherwise → the destination shard's outbox.
-func (s *shard) deliver(from, to graph.NodeID) {
+func (s *shard) deliver(to graph.NodeID, slot int32) {
 	if d := s.eng.part.shardOf(to); d != s.id {
-		s.out[d] = append(s.out[d], shardMsg{From: from, To: to})
+		b := s.out[d]
+		if b == nil {
+			b = s.eng.getBatch()
+			s.out[d] = b
+		}
+		b.msgs = append(b.msgs, shardMsg{To: to, Slot: slot})
 		return
 	}
-	s.local = append(s.local, shardMsg{From: from, To: to})
+	s.local = append(s.local, shardMsg{To: to, Slot: slot})
 }
 
 // loop is the shard goroutine: run the initial acts of the owned nodes,
 // then serve incoming batches until shutdown. The token discipline mirrors
 // the goroutine engine's: the start token is retired after the initial
-// cascade, each batch's token after that batch is fully processed.
+// cascade, each batch's token after that batch is fully processed — at
+// which point the batch buffer goes back to the pool.
 func (s *shard) loop() {
 	defer s.eng.c.wg.Done()
 	for _, nd := range s.nodes {
-		nd.act()
+		nd.act(s)
 	}
 	if !s.drain() {
 		return
@@ -155,10 +187,11 @@ func (s *shard) loop() {
 		select {
 		case <-s.eng.c.stop:
 			return
-		case batch := <-s.rx:
-			for _, m := range batch {
-				s.eng.nodes[m.To].receive(m.From)
+		case b := <-s.rx:
+			for _, m := range b.msgs {
+				s.eng.nodes[m.To].receive(s, m.Slot)
 			}
+			s.eng.recycle(b)
 			if !s.drain() {
 				return
 			}
@@ -177,7 +210,7 @@ func (s *shard) drain() bool {
 			return false
 		}
 		m := s.local[i]
-		s.eng.nodes[m.To].receive(m.From)
+		s.eng.nodes[m.To].receive(s, m.Slot)
 	}
 	s.local = s.local[:0]
 	return s.flush()
@@ -186,19 +219,20 @@ func (s *shard) drain() bool {
 // flush sends every non-empty outbox to its destination shard as a single
 // batch. The batch's in-flight token is added before the send, so the
 // counter can never reach zero while a batch exists; the receiving shard
-// retires it after fully processing the batch.
+// retires the token after fully processing the batch and returns the
+// buffer to the pool.
 func (s *shard) flush() bool {
-	for d, box := range s.out {
-		if len(box) == 0 {
+	for d, b := range s.out {
+		if b == nil {
 			continue
 		}
 		s.eng.c.addBatches(1)
 		select {
-		case s.eng.shards[d].tx <- box:
+		case s.eng.shards[d].tx <- b:
 		case <-s.eng.c.stop:
 			return false
 		}
-		s.out[d] = nil // the batch owns its backing array now
+		s.out[d] = nil // the receiving shard owns the batch now
 	}
 	return true
 }

@@ -1,9 +1,10 @@
-// Package trace provides execution metrics and plain-text/CSV table
+// Package trace provides execution metrics and plain-text/CSV/JSON table
 // rendering for the experiment harness. Tables are the unit of output for
 // every experiment in EXPERIMENTS.md: one Table per paper claim.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -206,6 +207,47 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// tableJSON is the machine-readable form of a Table: rows are arrays of
+// rendered cell strings in column order, so consumers join columns[i] with
+// row[i] without caring about cell types.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (t *Table) toJSON() tableJSON {
+	doc := tableJSON{Title: t.Title, Columns: t.Columns, Rows: make([][]string, len(t.Rows))}
+	for i, row := range t.Rows {
+		cells := make([]string, len(row))
+		for j, c := range row {
+			cells[j] = c.s
+		}
+		doc.Rows[i] = cells
+	}
+	return doc
+}
+
+// RenderJSON writes the table as a single JSON object
+// {"title", "columns", "rows"}, newline-terminated.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.toJSON())
+}
+
+// WriteJSON writes tables as one JSON array of table objects — the format
+// of lrbench -json and of the benchmark artifacts CI archives per run.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	docs := make([]tableJSON, len(tables))
+	for i, t := range tables {
+		docs[i] = t.toJSON()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
 }
 
 // String renders the table to a string for logs and tests.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -113,6 +114,47 @@ func TestTableRenderCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "2.50") {
 		t.Errorf("float cell missing:\n%s", out)
+	}
+}
+
+func TestTableRenderJSON(t *testing.T) {
+	tb := NewTable("E8 dist", "engine", "messages")
+	tb.MustAddRow(S("sharded"), I(42))
+	var b strings.Builder
+	if err := tb.RenderJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Title != "E8 dist" || len(doc.Columns) != 2 || len(doc.Rows) != 1 || doc.Rows[0][1] != "42" {
+		t.Errorf("round-tripped doc wrong: %+v", doc)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	t1 := NewTable("a", "x")
+	t1.MustAddRow(I(1))
+	t2 := NewTable("b", "y")
+	t2.MustAddRow(I(2))
+	var b strings.Builder
+	if err := WriteJSON(&b, []*Table{t1, t2}); err != nil {
+		t.Fatal(err)
+	}
+	var docs []struct {
+		Title string     `json:"title"`
+		Rows  [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &docs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(docs) != 2 || docs[0].Title != "a" || docs[1].Rows[0][0] != "2" {
+		t.Errorf("round-tripped docs wrong: %+v", docs)
 	}
 }
 

@@ -381,6 +381,12 @@ type DistEngine = dist.Engine
 // DistPartition selects the sharded engine's node-to-shard assignment.
 type DistPartition = dist.Partition
 
+// DistTrace selects whether a distributed run records the global step
+// linearization (DistTraceRecorded, the default) or skips it
+// (DistTraceOff) so production-scale runs pay no lock and no O(steps)
+// memory for it.
+type DistTrace = dist.Trace
+
 // Execution engines and partition schemes for DistOptions.
 const (
 	// DistGoroutinePerNode runs two goroutines and a mailbox per node — the
@@ -394,11 +400,18 @@ const (
 	DistPartitionBlock = dist.PartitionBlock
 	// DistPartitionHash assigns node u to shard u mod shards.
 	DistPartitionHash = dist.PartitionHash
+	// DistTraceRecorded records the linearized step trace (default); the
+	// trace is what the sequential replay cross-checks consume.
+	DistTraceRecorded = dist.TraceRecorded
+	// DistTraceOff disables trace recording for production-scale runs; the
+	// final orientation and statistics are unaffected.
+	DistTraceOff = dist.TraceOff
 )
 
 // DistOptions tunes RunDistributedWith: engine choice, shard count and
-// partition scheme, mailbox capacity, and the runaway-step slack. The zero
-// value reproduces RunDistributed's behaviour.
+// partition scheme, mailbox capacity, trace recording, and the
+// runaway-step slack. The zero value reproduces RunDistributed's
+// behaviour.
 type DistOptions = dist.Options
 
 // DistReport summarizes a distributed run.
