@@ -4,11 +4,19 @@
 // Usage:
 //
 //	lrbench [-quick] [-csv|-json] [-only E4] [-engine sharded]
+//	        [-faults lossy|flaky|adversarial] [-seed 7]
 //
 // With -json the selected experiments are emitted as one JSON array of
-// {title, columns, rows} table objects — the machine-readable format CI
-// archives (BENCH_dist.json) to track the performance trajectory across
-// commits.
+// {title, columns, rows, scenario, seed} table objects — the
+// machine-readable format CI archives (BENCH_dist.json) to track the
+// performance trajectory across commits. Every table is stamped with the
+// fault scenario and seed it ran under, so any benchmark or adversarial
+// row is reproducible from its JSON artifact alone.
+//
+// With -faults the distributed experiments (E7 async rows, E8) run under
+// the selected seeded network adversary: messages are dropped, duplicated
+// and delayed, and the E8 drops/dups/retrans columns report the
+// interference alongside the retransmissions that neutralized it.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 
 	"linkreversal/internal/dist"
 	"linkreversal/internal/experiments"
+	"linkreversal/internal/faults"
 	"linkreversal/internal/trace"
 )
 
@@ -32,11 +41,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lrbench", flag.ContinueOnError)
 	var (
-		quick   = fs.Bool("quick", false, "use the small parameter set")
-		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut = fs.Bool("json", false, "emit one JSON array of table objects")
-		only    = fs.String("only", "", "run a single experiment (E1..E8)")
-		engine  = fs.String("engine", "both", "dist execution engine for E8: goroutine, sharded or both")
+		quick    = fs.Bool("quick", false, "use the small parameter set")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = fs.Bool("json", false, "emit one JSON array of table objects")
+		only     = fs.String("only", "", "run a single experiment (E1..E8)")
+		engine   = fs.String("engine", "both", "dist execution engine for E8: goroutine, sharded or both")
+		faultsIn = fs.String("faults", "off", "network adversary for the distributed experiments: off, lossy, flaky or adversarial")
+		seed     = fs.Int64("seed", 0, "seed of the fault adversary (every adversarial row replays from it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +73,21 @@ func run(args []string) error {
 		suite.Engines = []dist.Engine{dist.Sharded}
 	default:
 		return fmt.Errorf("unknown -engine %q (want goroutine, sharded or both)", *engine)
+	}
+	scenario := "reliable"
+	switch *faultsIn {
+	case "off":
+	case "lossy":
+		suite.Faults = faults.Lossy(*seed)
+	case "flaky":
+		suite.Faults = faults.Flaky(*seed)
+	case "adversarial":
+		suite.Faults = faults.Adversarial(*seed)
+	default:
+		return fmt.Errorf("unknown -faults %q (want off, lossy, flaky or adversarial)", *faultsIn)
+	}
+	if suite.Faults != nil {
+		scenario = suite.Faults.Scenario
 	}
 	type exp struct {
 		id  string
@@ -90,6 +116,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
+		tb.SetProvenance(scenario, *seed)
 		switch {
 		case *jsonOut:
 			tables = append(tables, tb) // emitted as one array after the loop

@@ -103,9 +103,64 @@ func TestRunDistributedWithBadOptions(t *testing.T) {
 		{MailboxCap: -1},
 		{StepLimitSlack: -2},
 		{Engine: lr.DistEngine(9)},
+		{Adversary: &lr.NetworkAdversary{}}, // no policy
+		{Adversary: lr.NewNetworkAdversary(lr.FaultDrop{P: 2}, 1)}, // probability out of range
 	} {
 		if _, err := lr.RunDistributedWith(context.Background(), topo, lr.DistFR, opts); !errors.Is(err, lr.ErrBadDistOptions) {
 			t.Errorf("opts %+v: err = %v, want ErrBadDistOptions", opts, err)
+		}
+	}
+}
+
+// TestRunDistributedWithNetworkAdversary exercises fault injection behind
+// the public API: under every preset adversary (and a composed custom
+// one), both engines must absorb the interference via retransmission and
+// land on the fault-free final orientation, with the fault counters
+// reporting what happened.
+func TestRunDistributedWithNetworkAdversary(t *testing.T) {
+	topo := lr.Grid(5, 5)
+	ref, err := lr.RunDistributed(context.Background(), topo, lr.DistPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := lr.NewNetworkAdversary(lr.FaultChain{
+		lr.FaultDropFirst{K: 1},
+		lr.FaultDuplicate{P: 0.3},
+		lr.FaultDelay{P: 0.4, Bound: 5},
+		lr.FaultReorder{P: 0.2},
+	}, 99)
+	for _, adv := range []*lr.NetworkAdversary{
+		lr.LossyNetwork(7),
+		lr.FlakyNetwork(7),
+		lr.AdversarialNetwork(7),
+		custom,
+	} {
+		for _, engine := range []lr.DistEngine{lr.DistGoroutinePerNode, lr.DistSharded} {
+			adv, engine := adv, engine
+			t.Run(adv.Scenario+"/"+engine.String(), func(t *testing.T) {
+				t.Parallel()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				rep, err := lr.RunDistributedWith(ctx, topo, lr.DistPR, lr.DistOptions{
+					Engine:    engine,
+					Adversary: adv,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Acyclic || !rep.DestinationOriented {
+					t.Errorf("bad outcome %+v", rep)
+				}
+				if !rep.Final.Equal(ref.Final) {
+					t.Error("adversarial final orientation diverged from the fault-free run")
+				}
+				if rep.Drops > 0 && rep.Retransmits == 0 {
+					t.Errorf("%d drops but no retransmissions", rep.Drops)
+				}
+				if rep.Messages > 0 && rep.Acks == 0 {
+					t.Error("payloads flowed but no acks were recorded")
+				}
+			})
 		}
 	}
 }

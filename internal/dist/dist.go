@@ -37,6 +37,25 @@
 // in-flight messages: when no messages are pending, every view is exact,
 // so "no node believes it is a sink" implies global quiescence.
 //
+// # Safety and liveness under network faults
+//
+// With Options.Adversary set, a seeded fault injector (internal/faults)
+// sits between senders and mailboxes and may drop, duplicate, or hold back
+// any transmission. Reversal announcements then carry per-directed-link
+// sequence numbers: the receiver applies only fresh sequence numbers (so a
+// late duplicate can never resurrect a view the receiver has since
+// reversed — the one-sided-error argument survives duplication and
+// reordering) and acknowledges every arrival; a dropped payload surfaces
+// to its sender as a loss notification, which triggers a retransmission
+// unless an acknowledgement already confirmed delivery. The injector's
+// fair-loss bound caps how many times the same payload can be dropped
+// (Adversary.RetryBudget), so every reversal announcement is eventually
+// applied exactly once and liveness is preserved. Quiescence accounting is
+// extended to the fault traffic: every copy, acknowledgement, loss
+// notification and held-back message carries an in-flight token until
+// fully processed, so the counter cannot reach zero while the adversary
+// still holds traffic.
+//
 // In DynamicNetwork the same one-sided-error argument holds for heights:
 // a node's stored copy of a neighbour's height is a lower bound (heights
 // only increase, and link-up snapshots are exchanged by message), and an
@@ -127,6 +146,20 @@ type Stats struct {
 	Steps int
 	// TotalReversals is the number of individual edge reversals.
 	TotalReversals int
+	// Drops is the number of transmissions the fault adversary lost
+	// (payloads and acknowledgements); 0 on a reliable network.
+	Drops int
+	// Dups is the number of extra copies the fault adversary delivered.
+	Dups int
+	// Held is the number of transmissions the fault adversary held back
+	// behind later traffic (delay/reorder).
+	Held int
+	// Retransmits is the number of payload retransmissions triggered by
+	// loss notifications.
+	Retransmits int
+	// Acks is the number of acknowledgements sent by the reliable-delivery
+	// layer; 0 unless an adversary armed it.
+	Acks int
 }
 
 // Result is the outcome of a quiesced Run.

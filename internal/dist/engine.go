@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"linkreversal/internal/core"
+	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
 )
 
@@ -16,9 +17,17 @@ import (
 // Implementations must guarantee that a message handed to deliver during a
 // step is received only after that step's announce returned — the property
 // that makes a recorded trace a legal sequential execution.
+//
+// send is deliver's fault-aware sibling, used only when an adversary is
+// armed: it carries the full link coordinates (so a dropped transmission
+// can be converted into a loss notification back to the sender), the
+// per-link sequence number and retransmission attempt (the fault
+// injector's decision coordinates) and the message kind. The same
+// announce-before-send ordering contract applies.
 type nodeEnv interface {
 	announce(u graph.NodeID, targets int)
 	deliver(to graph.NodeID, slot int32)
+	send(from graph.NodeID, fromSlot int32, to graph.NodeID, toSlot int32, seq uint32, attempt int32, kind msgKind)
 }
 
 // engine is one execution strategy for RunWith. start launches the engine's
@@ -37,14 +46,19 @@ type engine interface {
 // (and the failure slot) sit behind mu: when Options.RecordTrace is off,
 // the mutex is never taken after construction.
 type runCore struct {
-	inflight  atomic.Int64
-	steps     atomic.Int64
-	reversals atomic.Int64
-	messages  atomic.Int64
-	batches   atomic.Int64
+	inflight    atomic.Int64
+	steps       atomic.Int64
+	reversals   atomic.Int64
+	messages    atomic.Int64
+	batches     atomic.Int64
+	acks        atomic.Int64
+	retransmits atomic.Int64
 
 	stepLimit   int64
 	recordTrace bool
+	// inj is the armed fault injector, nil on a reliable network. Engines
+	// route every transmission through it when set.
+	inj *faults.Injector
 
 	mu      sync.Mutex // guards trace and failure only
 	trace   []graph.NodeID
@@ -130,15 +144,53 @@ func (c *runCore) done(n int) {
 	}
 }
 
+// countSend records the reliability-layer cost of one transmission before
+// it is judged by the injector: retransmitted payloads and acknowledgements
+// are counted here so the Stats are exact regardless of the transmission's
+// fate.
+func (c *runCore) countSend(kind msgKind, attempt int32) {
+	switch {
+	case kind == msgAck:
+		c.acks.Add(1)
+	case kind == msgData && attempt > 0:
+		c.retransmits.Add(1)
+	}
+}
+
+// judgeSend is the engine-shared half of a faulty transmission: it counts
+// the reliability traffic and consults the injector. dropped reports the
+// transmission was lost; notify that the engine must route a loss
+// notification back to the sender (payload drops only — lost acks are
+// silently gone, the payload's own retransmission path recovers). The fate
+// carries the duplication and holdback of delivered transmissions.
+func (c *runCore) judgeSend(from, to graph.NodeID, seq uint32, attempt int32, kind msgKind) (f faults.Fate, dropped, notify bool) {
+	c.countSend(kind, attempt)
+	f = c.inj.Judge(
+		faults.Link{From: from, To: to},
+		faults.Msg{Seq: uint64(seq), Attempt: int(attempt), Ack: kind == msgAck},
+	)
+	if f.Drop {
+		return f, true, kind != msgAck
+	}
+	return f, false, false
+}
+
 // snapshot assembles the Stats from the atomic counters. Callers must
 // ensure the run has quiesced (or all goroutines exited).
 func (c *runCore) snapshot() Stats {
-	return Stats{
+	s := Stats{
 		Messages:       int(c.messages.Load()),
 		Batches:        int(c.batches.Load()),
 		Steps:          int(c.steps.Load()),
 		TotalReversals: int(c.reversals.Load()),
+		Acks:           int(c.acks.Load()),
+		Retransmits:    int(c.retransmits.Load()),
 	}
+	if c.inj != nil {
+		fs := c.inj.Snapshot()
+		s.Drops, s.Dups, s.Held = fs.Drops, fs.Dups, fs.Held
+	}
+	return s
 }
 
 // stopped reports whether the engine has been told to shut down, without
@@ -178,17 +230,20 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 	// factor so hitting the limit can only mean an engine bug.
 	limit := 200*int64(n)*int64(n) + int64(opts.StepLimitSlack)
 	record := opts.RecordTrace == TraceRecorded
-	var (
-		c   *runCore
-		eng engine
-	)
+	shards := min(opts.Shards, n)
+	startTokens := n // one start token per node
+	if opts.Engine == Sharded {
+		startTokens = shards // one start token per shard
+	}
+	c := newRunCore(limit, startTokens, record)
+	if opts.Adversary != nil {
+		c.inj = faults.NewInjector(opts.Adversary)
+	}
+	var eng engine
 	switch opts.Engine {
 	case GoroutinePerNode:
-		c = newRunCore(limit, n, record) // one start token per node
 		eng = newNodeEngine(c, in, alg, opts)
 	case Sharded:
-		shards := min(opts.Shards, n)
-		c = newRunCore(limit, shards, record) // one start token per shard
 		eng = newShardEngine(c, in, alg, opts, shards)
 	}
 	eng.start()

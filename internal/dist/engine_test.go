@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
 	"linkreversal/internal/workload"
 )
@@ -18,10 +19,13 @@ import (
 // LR_DIST_ENGINE environment variable (the CI test matrix). The sharded
 // configuration pins three shards so cross-shard batching is exercised even
 // on a single-CPU machine, where the GOMAXPROCS default would collapse to
-// one shard.
+// one shard. Every returned configuration additionally carries the network
+// adversary selected by LR_DIST_FAULTS (see testAdversary), so the CI
+// fault matrix reruns the whole suite under loss, duplication and delay.
 func testEngines(t testing.TB) []Options {
-	gpn := Options{Engine: GoroutinePerNode}
-	sharded := Options{Engine: Sharded, Shards: 3}
+	adv := testAdversary(t)
+	gpn := Options{Engine: GoroutinePerNode, Adversary: adv}
+	sharded := Options{Engine: Sharded, Shards: 3, Adversary: adv}
 	switch v := os.Getenv("LR_DIST_ENGINE"); v {
 	case "", "both":
 		return []Options{gpn, sharded}
@@ -31,6 +35,26 @@ func testEngines(t testing.TB) []Options {
 		return []Options{sharded}
 	default:
 		t.Fatalf("unknown LR_DIST_ENGINE %q (want goroutine, sharded or both)", v)
+		return nil
+	}
+}
+
+// testAdversary returns the fault scenario selected by the LR_DIST_FAULTS
+// environment variable (the CI adversary matrix): nil for a reliable
+// network, or a single-dimension adversary exercising loss, duplication or
+// delay in isolation so a failure is attributed to the right fault class.
+func testAdversary(t testing.TB) *faults.Adversary {
+	switch v := os.Getenv("LR_DIST_FAULTS"); v {
+	case "", "off":
+		return nil
+	case "loss":
+		return faults.New(faults.Drop{P: 0.2}, 1)
+	case "dup":
+		return faults.New(faults.Duplicate{P: 0.25, Extra: 2}, 1)
+	case "delay":
+		return faults.New(faults.Delay{P: 0.5, Bound: 6}, 1)
+	default:
+		t.Fatalf("unknown LR_DIST_FAULTS %q (want off, loss, dup or delay)", v)
 		return nil
 	}
 }

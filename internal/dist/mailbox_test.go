@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"testing"
+)
+
+// TestMailboxQueueFIFO checks order preservation through interleaved
+// pushes, pops and compactions.
+func TestMailboxQueueFIFO(t *testing.T) {
+	var q mailboxQueue[int]
+	next, want := 0, 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 37; i++ {
+			q.push(next)
+			next++
+		}
+		for i := 0; i < 23 && !q.empty(); i++ {
+			q.compact()
+			if got := q.front(); got != want {
+				t.Fatalf("front = %d, want %d", got, want)
+			}
+			q.pop()
+			want++
+		}
+	}
+	for !q.empty() {
+		if got := q.front(); got != want {
+			t.Fatalf("tail front = %d, want %d", got, want)
+		}
+		q.pop()
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d messages, pushed %d", want, next)
+	}
+}
+
+// TestMailboxQueueShrinksAfterBurst pins the memory-retention fix: a burst
+// that grows the backing array far beyond the steady-state traffic must
+// not pin the burst-sized buffer after the queue drains — the next drain
+// releases it.
+func TestMailboxQueueShrinksAfterBurst(t *testing.T) {
+	var q mailboxQueue[int]
+	const burst = 64 * 1024
+	for i := 0; i < burst; i++ {
+		q.push(i)
+	}
+	for !q.empty() {
+		q.compact()
+		q.pop()
+	}
+	q.drain()
+	if cap(q.buf) != 0 {
+		// The burst itself ends with peak == burst, so the first drain
+		// keeps the buffer (the traffic justified it) — but then trickle
+		// traffic must trigger the release on the following drain.
+		for i := 0; i < 4; i++ {
+			q.push(i)
+			q.pop()
+		}
+		q.drain()
+	}
+	if cap(q.buf) > mailboxShrinkCap {
+		t.Errorf("cap %d retained after burst drained; want release below %d", cap(q.buf), mailboxShrinkCap)
+	}
+}
+
+// TestMailboxQueueKeepsJustifiedCapacity checks the other side of the
+// heuristic: a queue whose live high-water mark keeps using the buffer must
+// NOT shed it — shrinking there would just re-pay the growth on the next
+// round.
+func TestMailboxQueueKeepsJustifiedCapacity(t *testing.T) {
+	var q mailboxQueue[int]
+	const depth = 8 * 1024
+	for round := 0; round < 3; round++ {
+		for i := 0; i < depth; i++ {
+			q.push(i)
+		}
+		for !q.empty() {
+			q.compact()
+			q.pop()
+		}
+		q.drain()
+		if round == 0 {
+			continue // first drain establishes the capacity
+		}
+		if cap(q.buf) < depth {
+			t.Fatalf("round %d: cap %d < steadily used depth %d; shrink too eager", round, cap(q.buf), depth)
+		}
+	}
+}
+
+// TestMailboxQueueSmallQueuesNeverShrink checks queues below the shrink
+// threshold keep their backing array across drains (the common case must
+// stay allocation-free).
+func TestMailboxQueueSmallQueuesNeverShrink(t *testing.T) {
+	var q mailboxQueue[int]
+	for i := 0; i < 100; i++ {
+		q.push(i)
+	}
+	for !q.empty() {
+		q.pop()
+	}
+	q.drain()
+	had := cap(q.buf)
+	if had == 0 {
+		t.Fatal("small queue released its buffer on drain")
+	}
+	for round := 0; round < 10; round++ {
+		q.push(round)
+		q.pop()
+		q.drain()
+		if cap(q.buf) != had {
+			t.Fatalf("round %d: cap changed %d -> %d on a small queue", round, had, cap(q.buf))
+		}
+	}
+}

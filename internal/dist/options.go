@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+
+	"linkreversal/internal/faults"
 )
 
 // Engine selects the execution engine used by RunWith. The engines differ
@@ -147,6 +149,12 @@ type Options struct {
 	// the algorithms, so the slack only matters to tests that want a
 	// tighter abort.
 	StepLimitSlack int
+	// Adversary injects seeded network faults (loss, duplication, delay,
+	// reorder) between senders and mailboxes; nil means a reliable network
+	// and the exact pre-fault hot path. A non-nil adversary also arms the
+	// sequence-numbered ack/retransmit protocol that restores liveness
+	// under loss; see internal/faults and the package documentation.
+	Adversary *faults.Adversary
 }
 
 // withDefaults validates o and fills in the defaults for zero fields.
@@ -189,6 +197,11 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.StepLimitSlack == 0 {
 		o.StepLimitSlack = defaultStepLimitSlack
+	}
+	if o.Adversary != nil {
+		if err := o.Adversary.Validate(); err != nil {
+			return o, fmt.Errorf("%w: %v", ErrBadOption, err)
+		}
 	}
 	return o, nil
 }

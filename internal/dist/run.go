@@ -9,16 +9,48 @@ import (
 	"linkreversal/internal/graph"
 )
 
+// msgKind distinguishes the transmissions of the reliable-delivery layer.
+// On a reliable network (no adversary) only msgData ever travels.
+type msgKind uint8
+
+const (
+	// msgData is a reversal announcement: the neighbour at Slot reversed
+	// the shared edge, which now points toward the receiver.
+	msgData msgKind = iota
+	// msgAck acknowledges receipt of the data payload Seq on the link at
+	// Slot; it lets the sender clear its unacked state and suppresses
+	// retransmissions of payloads whose other copies were dropped.
+	msgAck
+	// msgNack is a loss notification from the network layer to the
+	// *sender* of a dropped payload — the event-driven stand-in for a
+	// retransmission timeout (the adversary controls all timing, so an RTO
+	// that fires exactly when the payload was lost is simply the adversary
+	// scheduling the timer adversarially tight). Nacks travel reliably:
+	// they model a local timer, not a network message.
+	msgNack
+)
+
 // reverseMsg announces that a neighbour reversed the shared edge, which now
 // points toward the receiver. Slot is the *receiver-side* neighbour slot of
 // the sender — the index i with receiver.nbrs[i] == sender — precomputed
 // once at engine construction, so applying the message is a pair of slice
-// writes with no lookup of any kind. It is the only message kind of the
-// static engines: for the height-based variants it plays the role of the
-// height announcement, and for list-based PR it additionally means "add the
-// neighbour at Slot to your list".
+// writes with no lookup of any kind. For the height-based variants it plays
+// the role of the height announcement, and for list-based PR it
+// additionally means "add the neighbour at Slot to your list".
+//
+// The remaining fields belong to the reliable-delivery layer and stay zero
+// on a reliable network: Seq is the per-directed-link sequence number of
+// the payload (or the payload being acked/nacked), Kind the transmission
+// class, and Hold the remaining number of delivery opportunities that may
+// overtake this message (the fault adversary's logical-time holdback; the
+// transport re-enqueues the message and decrements Hold until it reaches
+// zero). For msgNack, Slot is the *sender-side* slot of the lossy link —
+// the nack is addressed to the original sender.
 type reverseMsg struct {
 	Slot int32
+	Seq  uint32
+	Kind msgKind
+	Hold uint8
 }
 
 // runNode is the per-node protocol state, shared by every engine. All views
@@ -55,6 +87,35 @@ type runNode struct {
 	// initIn and initOut are NewPR's immutable initial neighbour sets as
 	// slot indices into nbrs.
 	initIn, initOut []int32
+	// rel is the sequence-numbered reliable-delivery state, armed only when
+	// a fault adversary is configured; nil keeps the exact pre-fault path.
+	rel *relState
+}
+
+// relState is a node's half of the ack/retransmit protocol, slot-indexed
+// like every other view. The protocol keeps at most one unacknowledged
+// payload per directed link: a node reverses the same edge again only
+// after the neighbour reversed it back, which requires the neighbour to
+// have received the previous payload — so a single (seq, acked, retries)
+// cell per link suffices on the send side, and a single high-water mark
+// deduplicates on the receive side.
+type relState struct {
+	// sendSeq[i] is the latest payload sequence number sent to nbrs[i]
+	// (1-based; 0 = nothing sent yet).
+	sendSeq []uint32
+	// recvSeq[i] is the highest payload sequence number received from
+	// nbrs[i]; stale arrivals (duplicates, late retransmissions) are
+	// re-acknowledged but not re-applied, which is what keeps a late copy
+	// from resurrecting an already-reversed view.
+	recvSeq []uint32
+	// acked[i] reports whether sendSeq[i] has been acknowledged; it
+	// suppresses retransmissions when one copy of a duplicated payload was
+	// delivered and another dropped.
+	acked []bool
+	// retries[i] counts retransmissions of sendSeq[i]; it is the Attempt
+	// coordinate of the fault injector's decisions, capped by the
+	// fair-loss retry budget.
+	retries []int32
 }
 
 // slotOf returns the index of v in the ascending neighbour list nbrs. It is
@@ -72,8 +133,10 @@ func slotOf(nbrs []graph.NodeID, v graph.NodeID) int32 {
 // runNode per node, with every per-node view sliced out of a handful of
 // topology-sized backing arrays. The peer-slot table is derived from the
 // core.Init adjacency once, here, which is what lets every delivered
-// message skip the neighbour lookup forever after.
-func newRunNodes(in *core.Init, alg Algorithm) []runNode {
+// message skip the neighbour lookup forever after. With reliable set (a
+// fault adversary is armed), each node additionally gets its slot-indexed
+// ack/retransmit state, carved from four more topology-sized arrays.
+func newRunNodes(in *core.Init, alg Algorithm, reliable bool) []runNode {
 	g := in.Graph()
 	n := g.NumNodes()
 	dest := in.Destination()
@@ -90,6 +153,17 @@ func newRunNodes(in *core.Init, alg Algorithm) []runNode {
 	}
 	if alg == StaticPartialReversal {
 		flatParity = make([]int32, totalDeg)
+	}
+	var flatSendSeq, flatRecvSeq []uint32
+	var flatAcked []bool
+	var flatRetries []int32
+	var rels []relState
+	if reliable {
+		flatSendSeq = make([]uint32, totalDeg)
+		flatRecvSeq = make([]uint32, totalDeg)
+		flatAcked = make([]bool, totalDeg)
+		flatRetries = make([]int32, totalDeg)
+		rels = make([]relState, n)
 	}
 
 	off := 0
@@ -126,6 +200,15 @@ func newRunNodes(in *core.Init, alg Algorithm) []runNode {
 			nd.initIn = parity[:len(in0)]
 			nd.initOut = parity[len(in0):]
 		}
+		if reliable {
+			rels[u] = relState{
+				sendSeq: flatSendSeq[off : off+deg : off+deg],
+				recvSeq: flatRecvSeq[off : off+deg : off+deg],
+				acked:   flatAcked[off : off+deg : off+deg],
+				retries: flatRetries[off : off+deg : off+deg],
+			}
+			nd.rel = &rels[u]
+		}
 		off += deg
 	}
 	return nodes
@@ -156,8 +239,8 @@ func (nd *runNode) step(env nodeEnv) {
 		env.announce(nd.id, len(nd.nbrs))
 		clear(nd.incoming)
 		nd.inCount = 0
-		for i, v := range nd.nbrs {
-			env.deliver(v, nd.peerSlot[i])
+		for i := range nd.nbrs {
+			nd.sendReverse(env, int32(i))
 		}
 	case PartialReversal:
 		full := nd.listCount == len(nd.nbrs)
@@ -172,9 +255,9 @@ func (nd *runNode) step(env nodeEnv) {
 			}
 		}
 		nd.inCount -= targets
-		for i, v := range nd.nbrs {
+		for i := range nd.nbrs {
 			if full || !nd.list[i] {
-				env.deliver(v, nd.peerSlot[i])
+				nd.sendReverse(env, int32(i))
 			}
 			nd.list[i] = false
 		}
@@ -191,7 +274,7 @@ func (nd *runNode) step(env nodeEnv) {
 		}
 		nd.inCount -= len(slots)
 		for _, i := range slots {
-			env.deliver(nd.nbrs[i], nd.peerSlot[i])
+			nd.sendReverse(env, i)
 		}
 	default:
 		panic(fmt.Sprintf("dist: step on %v", nd.alg))
@@ -210,7 +293,8 @@ func (nd *runNode) act(env nodeEnv) {
 // receive applies one reversal announcement from the neighbour at slot and
 // takes any steps it enables. Engines call it with full ownership of the
 // node. The guards keep the counters exact under message duplication (the
-// current transports never duplicate, but the safety argument tolerates
+// reliable-delivery layer deduplicates by sequence number before this
+// point, but the guards keep the counters exact even for an engine without
 // it).
 func (nd *runNode) receive(env nodeEnv, slot int32) {
 	if !nd.incoming[slot] {
@@ -222,6 +306,58 @@ func (nd *runNode) receive(env nodeEnv, slot int32) {
 		nd.listCount++
 	}
 	nd.act(env)
+}
+
+// sendReverse emits the reversal announcement for the edge at slot i. On a
+// reliable network it is a bare deliver; with the ack/retransmit layer
+// armed it assigns the link's next sequence number, resets the unacked
+// state and routes the payload through the fault injector via env.send.
+func (nd *runNode) sendReverse(env nodeEnv, i int32) {
+	if nd.rel == nil {
+		env.deliver(nd.nbrs[i], nd.peerSlot[i])
+		return
+	}
+	r := nd.rel
+	r.sendSeq[i]++
+	r.acked[i] = false
+	r.retries[i] = 0
+	env.send(nd.id, i, nd.nbrs[i], nd.peerSlot[i], r.sendSeq[i], 0, msgData)
+}
+
+// handle dispatches one delivered transmission under the reliable-delivery
+// layer (engines call it instead of receive when an adversary is armed;
+// holdbacks are resolved by the engine before this point).
+//
+//   - Fresh payloads are acknowledged and applied; stale ones (duplicates,
+//     late retransmissions) are re-acknowledged only — a late copy must not
+//     resurrect a view the receiver has since reversed, which is what keeps
+//     every step a legal sequential automaton transition.
+//   - Acks clear the link's unacked state.
+//   - Nacks (loss notifications) trigger a retransmission of the still
+//     current, still unacknowledged payload; obsolete nacks — the link has
+//     moved on, or an ack from a surviving duplicate confirmed delivery —
+//     are dropped.
+func (nd *runNode) handle(env nodeEnv, m reverseMsg) {
+	r := nd.rel
+	switch m.Kind {
+	case msgData:
+		env.send(nd.id, m.Slot, nd.nbrs[m.Slot], nd.peerSlot[m.Slot], m.Seq, 0, msgAck)
+		if m.Seq <= r.recvSeq[m.Slot] {
+			return // stale duplicate or late retransmission: re-acked only
+		}
+		r.recvSeq[m.Slot] = m.Seq
+		nd.receive(env, m.Slot)
+	case msgAck:
+		if m.Seq == r.sendSeq[m.Slot] {
+			r.acked[m.Slot] = true
+		}
+	case msgNack:
+		if m.Seq != r.sendSeq[m.Slot] || r.acked[m.Slot] {
+			return
+		}
+		r.retries[m.Slot]++
+		env.send(nd.id, m.Slot, nd.nbrs[m.Slot], nd.peerSlot[m.Slot], m.Seq, r.retries[m.Slot], msgData)
+	}
 }
 
 // nodeEngine is the goroutine-per-node reference engine: one protocol
@@ -243,7 +379,7 @@ func newNodeEngine(c *runCore, in *core.Init, alg Algorithm, opts Options) *node
 	n := in.Graph().NumNodes()
 	e := &nodeEngine{
 		c:     c,
-		nodes: newRunNodes(in, alg),
+		nodes: newRunNodes(in, alg, c.inj != nil),
 		tx:    make([]chan reverseMsg, n),
 		rx:    make([]chan reverseMsg, n),
 	}
@@ -256,17 +392,56 @@ func newNodeEngine(c *runCore, in *core.Init, alg Algorithm, opts Options) *node
 
 func (e *nodeEngine) node(u graph.NodeID) *runNode { return &e.nodes[u] }
 
-// announce credits one in-flight token (and one singleton transport batch)
-// per message of the step.
+// announce records the step. On a reliable network it credits one in-flight
+// token (and one singleton transport batch) per message of the step; with
+// an adversary armed the per-message credit moves to enqueue, where the
+// actual number of transmissions (copies, acks, nacks) is known.
 func (e *nodeEngine) announce(u graph.NodeID, targets int) {
+	if e.c.inj != nil {
+		e.c.record(u, targets, 0, 0)
+		return
+	}
 	e.c.record(u, targets, targets, targets)
 }
 
 // deliver sends the message to node to's mailbox, giving up if the engine
-// stops.
+// stops. It is the reliable-network fast path; faulty traffic goes through
+// send.
 func (e *nodeEngine) deliver(to graph.NodeID, slot int32) {
 	select {
 	case e.tx[to] <- reverseMsg{Slot: slot}:
+	case <-e.c.stop:
+	}
+}
+
+// send routes one transmission through the fault injector (judgeSend):
+// dropped payloads become loss notifications back to the sender, surviving
+// copies (plus any duplicates) are enqueued with their holdback. Each
+// enqueued transmission is itself one transport handoff: it takes one
+// in-flight token and counts one batch.
+func (e *nodeEngine) send(from graph.NodeID, fromSlot int32, to graph.NodeID, toSlot int32, seq uint32, attempt int32, kind msgKind) {
+	f, dropped, notify := e.c.judgeSend(from, to, seq, attempt, kind)
+	if dropped {
+		if notify {
+			e.enqueue(from, reverseMsg{Slot: fromSlot, Seq: seq, Kind: msgNack})
+		}
+		return
+	}
+	m := reverseMsg{Slot: toSlot, Seq: seq, Kind: kind, Hold: uint8(f.Hold)}
+	for c := 0; c <= f.Extra; c++ {
+		e.enqueue(to, m)
+	}
+}
+
+// enqueue hands one transmission to the transport under fault injection:
+// the in-flight token is taken before the channel send — while the caller
+// still holds the token it is processing under — so the counter can never
+// touch zero while the transmission exists.
+func (e *nodeEngine) enqueue(to graph.NodeID, m reverseMsg) {
+	e.c.inflight.Add(1)
+	e.c.batches.Add(1)
+	select {
+	case e.tx[to] <- m:
 	case <-e.c.stop:
 	}
 }
@@ -284,7 +459,11 @@ func (e *nodeEngine) start() {
 }
 
 // loop is the node goroutine: consume the start token, then serve messages
-// until shutdown.
+// until shutdown. A message with a pending holdback is re-enqueued at the
+// back of the node's own mailbox with the holdback decremented — every
+// requeue lets the entire queued backlog overtake it, which realizes the
+// adversary's bounded delay; its replacement token is taken by enqueue
+// before the old one is retired.
 func (e *nodeEngine) loop(nd *runNode, rx <-chan reverseMsg) {
 	defer e.c.wg.Done()
 	nd.act(e)
@@ -294,7 +473,15 @@ func (e *nodeEngine) loop(nd *runNode, rx <-chan reverseMsg) {
 		case <-e.c.stop:
 			return
 		case m := <-rx:
-			nd.receive(e, m.Slot)
+			switch {
+			case m.Hold > 0:
+				m.Hold--
+				e.enqueue(nd.id, m)
+			case nd.rel != nil:
+				nd.handle(e, m)
+			default:
+				nd.receive(e, m.Slot)
+			}
 			e.c.done(1)
 		}
 	}

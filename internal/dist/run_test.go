@@ -64,7 +64,11 @@ func TestRunQuiescesOnAllTopologies(t *testing.T) {
 					if res.Stats.Messages < res.Stats.TotalReversals {
 						t.Errorf("messages %d < reversals %d", res.Stats.Messages, res.Stats.TotalReversals)
 					}
-					if res.Stats.Batches > res.Stats.Messages {
+					// Batches counts transport handoffs; with a fault
+					// adversary those include acks, retransmissions and
+					// holdback requeues, so the bound only holds on a
+					// reliable network.
+					if opts.Adversary == nil && res.Stats.Batches > res.Stats.Messages {
 						t.Errorf("batches %d > messages %d", res.Stats.Batches, res.Stats.Messages)
 					}
 					if len(res.Trace) != res.Stats.Steps {

@@ -7,13 +7,19 @@ import (
 	"linkreversal/internal/graph"
 )
 
-// shardMsg is one reversal announcement in transit inside the sharded
-// engine: some neighbour of To reversed the shared edge, which now points
-// toward To. Slot is the receiver-side neighbour slot of the sender (see
-// reverseMsg), so delivery is two slice writes with no lookup.
+// shardMsg is one transmission in transit inside the sharded engine,
+// normally a reversal announcement: some neighbour of To reversed the
+// shared edge, which now points toward To. Slot is the receiver-side
+// neighbour slot of the sender (see reverseMsg), so delivery is two slice
+// writes with no lookup. Seq, Kind and Hold belong to the
+// reliable-delivery layer and stay zero on a reliable network, exactly as
+// in reverseMsg.
 type shardMsg struct {
 	To   graph.NodeID
 	Slot int32
+	Seq  uint32
+	Kind msgKind
+	Hold uint8
 }
 
 // batch is a reusable buffer of cross-shard messages. Batches circulate
@@ -77,7 +83,7 @@ func newShardEngine(c *runCore, in *core.Init, alg Algorithm, opts Options, shar
 	e := &shardEngine{
 		c:      c,
 		part:   newPartitioner(opts.Partition, n, shards),
-		nodes:  newRunNodes(in, alg),
+		nodes:  newRunNodes(in, alg, c.inj != nil),
 		shards: make([]*shard, shards),
 	}
 	e.pool.New = func() any { return new(batch) }
@@ -155,18 +161,64 @@ func (s *shard) announce(u graph.NodeID, targets int) {
 }
 
 // deliver routes one reversal message: same shard → local run-queue,
-// otherwise → the destination shard's outbox.
+// otherwise → the destination shard's outbox. It is the reliable-network
+// fast path; faulty traffic goes through send.
 func (s *shard) deliver(to graph.NodeID, slot int32) {
-	if d := s.eng.part.shardOf(to); d != s.id {
+	s.route(shardMsg{To: to, Slot: slot})
+}
+
+// route files one transmission by destination shard. No token is taken
+// here under either path: intra-shard messages are covered by the token
+// the shard currently holds, and cross-shard batches take theirs at flush.
+func (s *shard) route(m shardMsg) {
+	if d := s.eng.part.shardOf(m.To); d != s.id {
 		b := s.out[d]
 		if b == nil {
 			b = s.eng.getBatch()
 			s.out[d] = b
 		}
-		b.msgs = append(b.msgs, shardMsg{To: to, Slot: slot})
+		b.msgs = append(b.msgs, m)
 		return
 	}
-	s.local = append(s.local, shardMsg{To: to, Slot: slot})
+	s.local = append(s.local, m)
+}
+
+// send routes one transmission through the fault injector (judgeSend):
+// dropped payloads become loss notifications back to the sender — which is
+// always a node this shard owns, so the nack lands in the local run-queue
+// — and surviving copies (plus duplicates) are routed with their holdback.
+// The existing batch-counting quiescence discipline already covers all of
+// this traffic, so no extra tokens are needed.
+func (s *shard) send(from graph.NodeID, fromSlot int32, to graph.NodeID, toSlot int32, seq uint32, attempt int32, kind msgKind) {
+	f, dropped, notify := s.eng.c.judgeSend(from, to, seq, attempt, kind)
+	if dropped {
+		if notify {
+			s.local = append(s.local, shardMsg{To: from, Slot: fromSlot, Seq: seq, Kind: msgNack})
+		}
+		return
+	}
+	m := shardMsg{To: to, Slot: toSlot, Seq: seq, Kind: kind, Hold: uint8(f.Hold)}
+	for c := 0; c <= f.Extra; c++ {
+		s.route(m)
+	}
+}
+
+// process resolves one transmission for delivery: a pending holdback sends
+// the message to the back of the local run-queue (everything currently
+// queued overtakes it — the logical-time delay), everything else reaches
+// the owning node.
+func (s *shard) process(m shardMsg) {
+	if m.Hold > 0 {
+		m.Hold--
+		s.local = append(s.local, m)
+		return
+	}
+	nd := &s.eng.nodes[m.To]
+	if nd.rel != nil {
+		nd.handle(s, reverseMsg{Slot: m.Slot, Seq: m.Seq, Kind: m.Kind})
+		return
+	}
+	nd.receive(s, m.Slot)
 }
 
 // loop is the shard goroutine: run the initial acts of the owned nodes,
@@ -189,7 +241,7 @@ func (s *shard) loop() {
 			return
 		case b := <-s.rx:
 			for _, m := range b.msgs {
-				s.eng.nodes[m.To].receive(s, m.Slot)
+				s.process(m)
 			}
 			s.eng.recycle(b)
 			if !s.drain() {
@@ -209,8 +261,7 @@ func (s *shard) drain() bool {
 		if i%drainStopCheck == 0 && s.eng.c.stopped() {
 			return false
 		}
-		m := s.local[i]
-		s.eng.nodes[m.To].receive(s, m.Slot)
+		s.process(s.local[i])
 	}
 	s.local = s.local[:0]
 	return s.flush()

@@ -12,6 +12,7 @@ import (
 	"linkreversal/internal/automaton"
 	"linkreversal/internal/core"
 	"linkreversal/internal/dist"
+	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
 	"linkreversal/internal/sched"
 	"linkreversal/internal/trace"
@@ -32,6 +33,10 @@ type Suite struct {
 	// Engines are the dist execution engines exercised by E8; empty means
 	// both (goroutine-per-node and sharded).
 	Engines []dist.Engine
+	// Faults optionally injects a network adversary into every distributed
+	// run of E7/E8 (lrbench -faults); nil means a reliable network. The
+	// fault columns of E8 then report what the adversary did.
+	Faults *faults.Adversary
 }
 
 // Defaults returns the parameter set recorded in EXPERIMENTS.md.
@@ -347,16 +352,39 @@ func E6DummyOverhead(s Suite) (*trace.Table, error) {
 // E7SocialCost reproduces the shape of the game-theoretic comparison
 // (Charron-Bost et al.): on every instance the FR social cost (total
 // reversals) is at least the PR social cost, and the per-node maximum is
-// reported.
+// reported. Each topology appears twice: once under the sequential
+// random-single schedule and once as an asynchronous distributed execution
+// (honouring Suite.Faults), whose recorded step linearization is replayed
+// into a work profile — so the social-cost accounting covers asynchronous
+// and adversarial executions too.
 func E7SocialCost(s Suite) (*trace.Table, error) {
 	tb := trace.NewTable("E7: social cost FR vs PR (per-node reversal counts)",
-		"topology", "FR-social", "PR-social", "FR-max-node", "PR-max-node", "FR>=PR")
+		"topology", "execution", "FR-social", "PR-social", "FR-max-node", "PR-max-node", "FR>=PR")
 	topos := []*workload.Topology{
 		workload.BadChain(24),
 		workload.Ladder(12),
 		workload.Grid(4, 6),
 		workload.LayeredDAG(4, 8, 0.4, 2),
 		workload.RandomConnected(25, 0.2, 3),
+	}
+	addRow := func(name, execution string, pFR, pPR *trace.WorkProfile) {
+		_, maxFR := pFR.MaxNodeCost()
+		_, maxPR := pPR.MaxNodeCost()
+		ok := "yes"
+		if pFR.SocialCost() < pPR.SocialCost() {
+			ok = "NO"
+		}
+		tb.MustAddRow(trace.S(name), trace.S(execution), trace.I(pFR.SocialCost()), trace.I(pPR.SocialCost()),
+			trace.I(maxFR), trace.I(maxPR), trace.S(ok))
+	}
+	asyncProfile := func(in *core.Init, alg dist.Algorithm, twin automaton.Automaton) (*trace.WorkProfile, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		res, err := dist.RunWith(ctx, in, alg, dist.Options{Adversary: s.Faults})
+		if err != nil {
+			return nil, err
+		}
+		return trace.WorkProfileFromSteps(twin, res.Trace)
 	}
 	for _, topo := range topos {
 		in, err := topo.Init()
@@ -371,26 +399,34 @@ func E7SocialCost(s Suite) (*trace.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E7 PR %s: %w", topo.Name, err)
 		}
-		pFR := trace.NewWorkProfile(resFR.Execution)
-		pPR := trace.NewWorkProfile(resPR.Execution)
-		_, maxFR := pFR.MaxNodeCost()
-		_, maxPR := pPR.MaxNodeCost()
-		ok := "yes"
-		if pFR.SocialCost() < pPR.SocialCost() {
-			ok = "NO"
+		addRow(topo.Name, "sequential", trace.NewWorkProfile(resFR.Execution), trace.NewWorkProfile(resPR.Execution))
+		aFR, err := asyncProfile(in, dist.FullReversal, core.NewFR(in))
+		if err != nil {
+			return nil, fmt.Errorf("E7 async FR %s: %w", topo.Name, err)
 		}
-		tb.MustAddRow(trace.S(topo.Name), trace.I(pFR.SocialCost()), trace.I(pPR.SocialCost()),
-			trace.I(maxFR), trace.I(maxPR), trace.S(ok))
+		aPR, err := asyncProfile(in, dist.PartialReversal, core.NewPRAutomaton(in))
+		if err != nil {
+			return nil, fmt.Errorf("E7 async PR %s: %w", topo.Name, err)
+		}
+		execution := "async"
+		if s.Faults != nil {
+			execution = "async/" + s.Faults.Scenario
+		}
+		addRow(topo.Name, execution, aFR, aPR)
 	}
 	return tb, nil
 }
 
 // E8Distributed runs the asynchronous protocols under every configured
-// execution engine and compares their work, message and batch counts
-// against centralized greedy executions.
+// execution engine — and under Suite.Faults when a network adversary is
+// configured — and compares their work, message and batch counts against
+// centralized greedy executions. The drops/dups/retrans columns report the
+// adversary's interference and the retransmissions that neutralized it
+// (all zero on a reliable network).
 func E8Distributed(s Suite) (*trace.Table, error) {
 	tb := trace.NewTable("E8: asynchronous distributed runs",
-		"topology", "algorithm", "engine", "messages", "batches", "reversals", "centralized-reversals", "oriented")
+		"topology", "algorithm", "engine", "messages", "batches", "reversals", "centralized-reversals",
+		"drops", "dups", "retrans", "oriented")
 	topos := []*workload.Topology{
 		workload.BadChain(16),
 		workload.Grid(4, 4),
@@ -417,7 +453,7 @@ func E8Distributed(s Suite) (*trace.Table, error) {
 			}
 			for _, eng := range s.engines() {
 				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-				res, err := dist.RunWith(ctx, in, alg, dist.Options{Engine: eng})
+				res, err := dist.RunWith(ctx, in, alg, dist.Options{Engine: eng, Adversary: s.Faults})
 				cancel()
 				if err != nil {
 					return nil, fmt.Errorf("E8 %s/%v/%v: %w", topo.Name, alg, eng, err)
@@ -428,7 +464,9 @@ func E8Distributed(s Suite) (*trace.Table, error) {
 				}
 				tb.MustAddRow(trace.S(topo.Name), trace.S(alg.String()), trace.S(eng.String()),
 					trace.I(res.Stats.Messages), trace.I(res.Stats.Batches),
-					trace.I(res.Stats.TotalReversals), trace.I(resC.TotalReversals), trace.S(oriented))
+					trace.I(res.Stats.TotalReversals), trace.I(resC.TotalReversals),
+					trace.I(res.Stats.Drops), trace.I(res.Stats.Dups), trace.I(res.Stats.Retransmits),
+					trace.S(oriented))
 			}
 		}
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
+	"linkreversal/internal/faults"
 	"linkreversal/internal/trace"
 )
 
@@ -125,10 +127,36 @@ func TestE7SocialCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	executions := map[string]bool{}
 	for _, row := range tb.Rows {
-		if cellString(row[5]) != "yes" {
-			t.Errorf("FR social cost below PR on %s", cellString(row[0]))
+		executions[cellString(row[1])] = true
+		if cellString(row[6]) != "yes" {
+			t.Errorf("FR social cost below PR on %s (%s)", cellString(row[0]), cellString(row[1]))
 		}
+	}
+	if !executions["sequential"] || !executions["async"] {
+		t.Errorf("E7 should cover sequential and async executions, got %v", executions)
+	}
+}
+
+func TestE7SocialCostAdversarial(t *testing.T) {
+	s := small()
+	s.Faults = faults.Lossy(5)
+	tb, err := E7SocialCost(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, row := range tb.Rows {
+		if cellString(row[1]) == "async/lossy" {
+			seen = true
+		}
+		if cellString(row[6]) != "yes" {
+			t.Errorf("FR social cost below PR on %s (%s)", cellString(row[0]), cellString(row[1]))
+		}
+	}
+	if !seen {
+		t.Error("no async/lossy rows despite a configured adversary")
 	}
 }
 
@@ -140,13 +168,40 @@ func TestE8Distributed(t *testing.T) {
 	engines := map[string]bool{}
 	for _, row := range tb.Rows {
 		engines[cellString(row[2])] = true
-		if cellString(row[7]) != "yes" {
+		if cellString(row[10]) != "yes" {
 			t.Errorf("distributed run not destination-oriented: %s/%s/%s",
 				cellString(row[0]), cellString(row[1]), cellString(row[2]))
+		}
+		for _, col := range []int{7, 8, 9} { // drops, dups, retrans on a reliable network
+			if cellString(row[col]) != "0" {
+				t.Errorf("reliable E8 row has non-zero fault column %d: %s", col, cellString(row[col]))
+			}
 		}
 	}
 	if !engines["goroutine-per-node"] || !engines["sharded"] {
 		t.Errorf("E8 should cover both engines by default, got %v", engines)
+	}
+}
+
+func TestE8DistributedAdversarial(t *testing.T) {
+	s := small()
+	s.Faults = faults.Lossy(5)
+	tb, err := E8Distributed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	for _, row := range tb.Rows {
+		if cellString(row[10]) != "yes" {
+			t.Errorf("adversarial run not destination-oriented: %s/%s/%s",
+				cellString(row[0]), cellString(row[1]), cellString(row[2]))
+		}
+		var d int
+		fmt.Sscanf(cellString(row[7]), "%d", &d)
+		drops += d
+	}
+	if drops == 0 {
+		t.Error("lossy E8 suite recorded zero drops; adversary not threaded through")
 	}
 }
 

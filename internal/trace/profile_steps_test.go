@@ -1,0 +1,105 @@
+package trace_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"linkreversal/internal/core"
+	"linkreversal/internal/dist"
+	"linkreversal/internal/faults"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/trace"
+	"linkreversal/internal/workload"
+)
+
+// TestWorkProfileFromSteps checks the dist-trace bridge: replaying an
+// asynchronous run's step linearization on the sequential twin must
+// account for exactly the distributed run's total work, per node.
+func TestWorkProfileFromSteps(t *testing.T) {
+	topo := workload.BadChain(16)
+	in := topo.MustInit()
+	res, err := dist.Run(context.Background(), in, dist.FullReversal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := trace.WorkProfileFromSteps(core.NewFR(in), res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SocialCost(); got != res.Stats.TotalReversals {
+		t.Errorf("social cost %d != distributed total reversals %d", got, res.Stats.TotalReversals)
+	}
+	if got := p.Steps(); got != res.Stats.Steps {
+		t.Errorf("profile steps %d != distributed steps %d", got, res.Stats.Steps)
+	}
+	if _, max := p.MaxNodeCost(); max <= 0 {
+		t.Errorf("max node cost %d, want positive on a chain repair", max)
+	}
+}
+
+// TestWorkProfileFromStepsAdversarial runs the bridge over an adversarial
+// execution: fault traffic (retransmissions, duplicates, holdbacks) must
+// be invisible to the work profile, which accounts protocol reversals
+// only.
+func TestWorkProfileFromStepsAdversarial(t *testing.T) {
+	topo := workload.Grid(5, 5)
+	in := topo.MustInit()
+	res, err := dist.RunWith(context.Background(), in, dist.PartialReversal, dist.Options{
+		Adversary: faults.Flaky(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := trace.WorkProfileFromSteps(core.NewPRAutomaton(in), res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.SocialCost(); got != res.Stats.TotalReversals {
+		t.Errorf("adversarial social cost %d != total reversals %d", got, res.Stats.TotalReversals)
+	}
+}
+
+// TestWorkProfileFromStepsRejectsBogusTrace checks replay errors surface:
+// a step by a node that is not a sink must fail the precondition.
+func TestWorkProfileFromStepsRejectsBogusTrace(t *testing.T) {
+	in := workload.GoodChain(5).MustInit()
+	// On the destination-oriented chain no node is a sink; any step fails.
+	if _, err := trace.WorkProfileFromSteps(core.NewFR(in), []graph.NodeID{1}); err == nil {
+		t.Error("replaying a non-sink step succeeded; want precondition error")
+	}
+}
+
+// TestTableProvenanceJSON pins the seed/scenario plumbing of the JSON
+// rendering: stamped tables carry both fields, unstamped tables omit them
+// so existing artifacts keep their shape.
+func TestTableProvenanceJSON(t *testing.T) {
+	tb := trace.NewTable("T", "a")
+	tb.MustAddRow(trace.I(1))
+	var plain strings.Builder
+	if err := tb.RenderJSON(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "scenario") || strings.Contains(plain.String(), "seed") {
+		t.Errorf("unstamped table leaked provenance fields: %s", plain.String())
+	}
+	tb.SetProvenance("lossy", 0)
+	var stamped strings.Builder
+	if err := tb.RenderJSON(&stamped); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Seed     *int64 `json:"seed"`
+	}
+	if err := json.Unmarshal([]byte(stamped.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scenario != "lossy" {
+		t.Errorf("scenario = %q, want lossy", doc.Scenario)
+	}
+	if doc.Seed == nil || *doc.Seed != 0 {
+		t.Errorf("seed = %v, want explicit 0 (zero seeds are still reproduction coordinates)", doc.Seed)
+	}
+}

@@ -68,6 +68,34 @@ func (p *WorkProfile) SocialCost() int {
 // Steps returns the number of recorded steps.
 func (p *WorkProfile) Steps() int { return p.steps }
 
+// WorkProfileFromSteps replays a distributed step linearization (the
+// dist.Result.Trace of an asynchronous — possibly adversarial — run) on
+// the matching sequential automaton and attributes each step's reversals
+// to the stepping node. It is the bridge that lets the social-cost
+// accounting of the game-theoretic experiments cover asynchronous
+// executions: a distributed trace is a legal sequential execution, so
+// replaying it yields the exact per-node reversal counts of the
+// distributed run. The automaton must be fresh (at the initial state) and
+// implement TotalReversals; replay errors are returned verbatim.
+func WorkProfileFromSteps(a automaton.Automaton, steps []graph.NodeID) (*WorkProfile, error) {
+	rc, ok := a.(interface{ TotalReversals() int })
+	if !ok {
+		return nil, fmt.Errorf("trace: automaton %s does not count reversals", a.Name())
+	}
+	p := &WorkProfile{perNode: make(map[graph.NodeID]int)}
+	prev := rc.TotalReversals()
+	for i, u := range steps {
+		if err := a.Step(automaton.ReverseNode{U: u}); err != nil {
+			return nil, fmt.Errorf("trace: replay step %d (node %d): %w", i, u, err)
+		}
+		now := rc.TotalReversals()
+		p.perNode[u] += now - prev
+		prev = now
+		p.steps++
+	}
+	return p, nil
+}
+
 // MaxNodeCost returns the largest per-node cost and the node achieving it.
 func (p *WorkProfile) MaxNodeCost() (graph.NodeID, int) {
 	best, bestCost := graph.NodeID(-1), -1
@@ -113,11 +141,24 @@ func F(v float64) Cell { return Cell{s: strconv.FormatFloat(v, 'f', 2, 64)} }
 func (c Cell) String() string { return c.s }
 
 // Table is a simple column-aligned table with a title, matching the layout
-// of the experiment outputs recorded in EXPERIMENTS.md.
+// of the experiment outputs recorded in EXPERIMENTS.md. Scenario and Seed
+// optionally record the run's provenance — the fault scenario and the PRNG
+// seed every row is replayable from — and travel with the JSON rendering,
+// so an archived benchmark artifact identifies its own reproduction
+// coordinates.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]Cell
+	Title    string
+	Columns  []string
+	Rows     [][]Cell
+	Scenario string
+	Seed     int64
+}
+
+// SetProvenance stamps the table with the scenario name and seed its rows
+// were produced under (lrbench does this for every emitted table).
+func (t *Table) SetProvenance(scenario string, seed int64) {
+	t.Scenario = scenario
+	t.Seed = seed
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -211,15 +252,23 @@ func (t *Table) RenderCSV(w io.Writer) error {
 
 // tableJSON is the machine-readable form of a Table: rows are arrays of
 // rendered cell strings in column order, so consumers join columns[i] with
-// row[i] without caring about cell types.
+// row[i] without caring about cell types. Scenario and seed, when present,
+// are the reproduction coordinates of every row.
 type tableJSON struct {
-	Title   string     `json:"title"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
+	Title    string     `json:"title"`
+	Columns  []string   `json:"columns"`
+	Rows     [][]string `json:"rows"`
+	Scenario string     `json:"scenario,omitempty"`
+	Seed     *int64     `json:"seed,omitempty"`
 }
 
 func (t *Table) toJSON() tableJSON {
 	doc := tableJSON{Title: t.Title, Columns: t.Columns, Rows: make([][]string, len(t.Rows))}
+	doc.Scenario = t.Scenario
+	if t.Scenario != "" {
+		seed := t.Seed
+		doc.Seed = &seed
+	}
 	for i, row := range t.Rows {
 		cells := make([]string, len(row))
 		for j, c := range row {

@@ -13,7 +13,10 @@
 //   - RunDistributed / RunDistributedWith: execute the protocol
 //     asynchronously over a simulated message-passing network, with a
 //     goroutine per node or on a sharded worker pool that batches
-//     cross-shard traffic (see DistOptions).
+//     cross-shard traffic (see DistOptions), optionally under a seeded
+//     network adversary that drops, duplicates, delays and reorders
+//     messages while a sequence-numbered ack/retransmit protocol keeps the
+//     run live (see NetworkAdversary and the fault presets).
 //   - VerifySimulation: drive the paper's simulation relations
 //     PR → OneStepPR → NewPR (Theorems 5.2/5.4) to quiescence and report
 //     any violation.
@@ -34,6 +37,7 @@ import (
 	"linkreversal/internal/core"
 	"linkreversal/internal/dist"
 	"linkreversal/internal/election"
+	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
 	"linkreversal/internal/mutex"
 	"linkreversal/internal/routing"
@@ -409,18 +413,76 @@ const (
 )
 
 // DistOptions tunes RunDistributedWith: engine choice, shard count and
-// partition scheme, mailbox capacity, trace recording, and the
-// runaway-step slack. The zero value reproduces RunDistributed's
-// behaviour.
+// partition scheme, mailbox capacity, trace recording, the runaway-step
+// slack, and the network adversary (Adversary field; nil = reliable
+// network). The zero value reproduces RunDistributed's behaviour.
 type DistOptions = dist.Options
 
-// DistReport summarizes a distributed run.
+// NetworkAdversary is a seeded fault-injection scenario for
+// RunDistributedWith: a fault policy plus the seed every decision is
+// replayable from and the retry budget of the fair-loss bound. Use the
+// presets (LossyNetwork, FlakyNetwork, AdversarialNetwork) or compose one
+// with NewNetworkAdversary from the Fault* policies.
+type NetworkAdversary = faults.Adversary
+
+// FaultPolicy decides, per transmission, whether the network drops,
+// duplicates or holds back a message. Policies are pure functions of the
+// seeded per-decision random stream and the transmission's coordinates,
+// which is what keeps adversarial runs replayable.
+type FaultPolicy = faults.Policy
+
+// Composable fault policies for NewNetworkAdversary.
+type (
+	// FaultDrop loses each transmission with probability P.
+	FaultDrop = faults.Drop
+	// FaultDropFirst loses the first K transmission attempts of every
+	// payload (targeted loss; capped by the retry budget).
+	FaultDropFirst = faults.DropFirst
+	// FaultDuplicate delivers Extra additional copies with probability P.
+	FaultDuplicate = faults.Duplicate
+	// FaultDelay requeues transmissions at the back of the receiver's
+	// queue up to Bound times with probability P (logical-time holdback).
+	FaultDelay = faults.Delay
+	// FaultReorder requeues a transmission behind the receiver's current
+	// backlog once, with probability P.
+	FaultReorder = faults.Reorder
+	// FaultChain composes policies (drops win, duplication accumulates,
+	// holdbacks add up).
+	FaultChain = faults.Chain
+)
+
+// LossyNetwork is the loss preset: 15% of all transmissions dropped;
+// liveness comes entirely from the ack/retransmit protocol.
+func LossyNetwork(seed int64) *NetworkAdversary { return faults.Lossy(seed) }
+
+// FlakyNetwork is the mixed preset: moderate loss, duplication and delay
+// at once.
+func FlakyNetwork(seed int64) *NetworkAdversary { return faults.Flaky(seed) }
+
+// AdversarialNetwork is the hostile preset: targeted first-k loss on every
+// payload plus probabilistic loss, duplication and heavy reordering.
+func AdversarialNetwork(seed int64) *NetworkAdversary { return faults.Adversarial(seed) }
+
+// NewNetworkAdversary builds a custom fault scenario from a policy and a
+// seed, with the default retry budget.
+func NewNetworkAdversary(p FaultPolicy, seed int64) *NetworkAdversary { return faults.New(p, seed) }
+
+// DistReport summarizes a distributed run. The fault counters are zero on
+// a reliable network.
 type DistReport struct {
-	Algorithm           DistAlgorithm
-	Messages            int
-	Batches             int
-	Steps               int
-	TotalReversals      int
+	Algorithm      DistAlgorithm
+	Messages       int
+	Batches        int
+	Steps          int
+	TotalReversals int
+	// Drops, Dups, Held, Retransmits and Acks report the network
+	// adversary's interference and the reliable-delivery traffic that
+	// neutralized it.
+	Drops               int
+	Dups                int
+	Held                int
+	Retransmits         int
+	Acks                int
 	Acyclic             bool
 	DestinationOriented bool
 	Final               *Orientation
@@ -435,7 +497,9 @@ func RunDistributed(ctx context.Context, topo *Topology, alg DistAlgorithm) (*Di
 // RunDistributedWith is RunDistributed with an explicit engine selection
 // and engine knobs; see DistOptions. Both engines realize legal
 // asynchronous executions of the same protocol and quiesce on identical
-// final orientations.
+// final orientations — including under a configured NetworkAdversary,
+// whose interference changes the schedule and the transport traffic but
+// never the outcome.
 func RunDistributedWith(ctx context.Context, topo *Topology, alg DistAlgorithm, opts DistOptions) (*DistReport, error) {
 	in, err := topo.Init()
 	if err != nil {
@@ -451,6 +515,11 @@ func RunDistributedWith(ctx context.Context, topo *Topology, alg DistAlgorithm, 
 		Batches:             res.Stats.Batches,
 		Steps:               res.Stats.Steps,
 		TotalReversals:      res.Stats.TotalReversals,
+		Drops:               res.Stats.Drops,
+		Dups:                res.Stats.Dups,
+		Held:                res.Stats.Held,
+		Retransmits:         res.Stats.Retransmits,
+		Acks:                res.Stats.Acks,
 		Acyclic:             graph.IsAcyclic(res.Final),
 		DestinationOriented: graph.IsDestinationOriented(res.Final, topo.Dest),
 		Final:               res.Final,
