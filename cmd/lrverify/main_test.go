@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestRunFlagErrors pins the flag-validation path.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunSmoke machine-checks a couple of tiny randomized configurations
+// end to end — every invariant on every reachable state plus the
+// simulation relations.
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-runs", "2", "-maxn", "8", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

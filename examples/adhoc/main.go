@@ -62,8 +62,9 @@ func run() error {
 		}
 		events++
 		if err := net.AwaitQuiescence(); err != nil {
-			if errors.Is(err, lr.ErrSuspectedPartition) {
-				fmt.Printf(" → partition suspected, healing\n")
+			var pe *lr.PartitionError
+			if errors.As(err, &pe) {
+				fmt.Printf(" → partition: radios %v cut off from gateway, healing\n", pe.Cut)
 				if err := net.AddLink(e.U, e.V); err != nil {
 					return err
 				}

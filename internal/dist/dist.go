@@ -18,10 +18,17 @@
 //     batches cross-shard traffic, selected through Options.
 //
 //   - DynamicNetwork runs the height-based (Gafni–Bertsekas pair) protocol
-//     over a topology that changes at runtime: links can be added and failed
-//     while the node goroutines keep running, and a height ceiling detects
-//     components cut off from the destination (TORA-style partition
-//     suspicion), surfaced as ErrHeightCeiling.
+//     over a topology that changes at runtime: links are added and failed,
+//     and nodes added, removed, crashed and recovered, while the protocol
+//     keeps running. Both execution backends are available through
+//     DynOptions, and internal/faults adversaries can be aimed at the
+//     height-announcement plane. Heights carry TORA-style reference levels
+//     (generate / propagate / reflect), so a component cut off from the
+//     destination detects the partition in O(component) steps;
+//     AwaitQuiescence validates every suspicion against the authoritative
+//     topology and reports a PartitionError naming the exact cut
+//     component. Healing the cut erases the stranded heights (CLR-style),
+//     so heights do not ratchet across cut/heal cycles.
 //
 // # Safety under asynchrony
 //
@@ -57,10 +64,19 @@
 // still holds traffic.
 //
 // In DynamicNetwork the same one-sided-error argument holds for heights:
-// a node's stored copy of a neighbour's height is a lower bound (heights
-// only increase, and link-up snapshots are exchanged by message), and an
-// edge points toward the lexicographically smaller endpoint, so "all my
-// neighbours are above me" in the view implies it in truth.
+// a node's stored copy of a neighbour's height is a lower bound within the
+// neighbour's current height generation (heights only increase between
+// control-plane resets, and link-up snapshots are exchanged by message),
+// and an edge points toward the lexicographically smaller endpoint, so
+// "all my neighbours are above me" in the view implies it in truth.
+// Generations let heights legally shrink when a healed partition's
+// inflated heights are erased: the control plane bumps the generation,
+// corrects the views of every outside neighbour first, and per-receiver
+// FIFO delivery guarantees no stale high view survives the reset. Height
+// announcements are idempotent under the generation-aware merge, so a
+// fault adversary's duplicates and delays are absorbed structurally, and
+// loss is repaired by immediate sender-side retransmission under the
+// injector's fair-loss bound.
 package dist
 
 import (
@@ -107,13 +123,24 @@ func (a Algorithm) String() string {
 var (
 	// ErrUnknownAlgorithm is returned by Run for an unrecognized Algorithm.
 	ErrUnknownAlgorithm = errors.New("dist: unknown algorithm")
-	// ErrHeightCeiling is returned by DynamicNetwork.AwaitQuiescence when a
-	// region's heights climbed past the partition-detection ceiling: nodes
-	// cut off from the destination reverse forever, so unbounded height
-	// growth is the distributed signature of a partition.
-	ErrHeightCeiling = errors.New("dist: heights exceeded the partition-detection ceiling (suspected partition)")
+	// ErrPartitioned is the sentinel wrapped by every *PartitionError that
+	// DynamicNetwork.AwaitQuiescence returns when live nodes have no path
+	// to the destination. Match it with errors.Is; unwrap the
+	// *PartitionError itself (errors.As) for the exact cut component.
+	ErrPartitioned = errors.New("dist: network partitioned from the destination")
+	// ErrHeightCeiling is the former name of ErrPartitioned, kept so
+	// existing errors.Is checks keep matching.
+	//
+	// Deprecated: partition detection is exact now (TORA-style reflection
+	// validated against the authoritative topology), not a height-ceiling
+	// heuristic. Use ErrPartitioned.
+	ErrHeightCeiling = ErrPartitioned
 	// ErrStopped is returned by DynamicNetwork operations after Stop.
 	ErrStopped = errors.New("dist: network stopped")
+	// ErrCrashed is returned by Crash for an already-crashed node.
+	ErrCrashed = errors.New("dist: node already crashed")
+	// ErrNotCrashed is returned by Recover for a node that is not crashed.
+	ErrNotCrashed = errors.New("dist: node is not crashed")
 	// ErrUnknownNode is returned for node IDs outside the network.
 	ErrUnknownNode = errors.New("dist: unknown node")
 	// ErrSelfLink is returned for links from a node to itself.
@@ -127,6 +154,25 @@ var (
 	// property of the algorithms.
 	ErrStepLimit = errors.New("dist: step limit exceeded before quiescence")
 )
+
+// PartitionError is the exact partition report of
+// DynamicNetwork.AwaitQuiescence: the network quiesced, but the named live
+// nodes have no path to the destination. It wraps ErrPartitioned (and thus
+// the deprecated ErrHeightCeiling), so existing errors.Is checks continue
+// to work; use errors.As to recover the cut component.
+type PartitionError struct {
+	// Cut lists every live node without a path to the destination,
+	// ascending.
+	Cut []graph.NodeID
+}
+
+// Error implements error.
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("dist: network partitioned from the destination (%d nodes cut off)", len(e.Cut))
+}
+
+// Unwrap makes errors.Is(err, ErrPartitioned) match.
+func (e *PartitionError) Unwrap() error { return ErrPartitioned }
 
 // Stats aggregates the work and communication cost of a run.
 type Stats struct {

@@ -1,368 +1,227 @@
 package dist
 
 import (
-	"cmp"
 	"fmt"
 	"slices"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"linkreversal/internal/core"
+	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
 	"linkreversal/internal/workload"
 )
 
-// dynKind discriminates DynamicNetwork messages.
-type dynKind int
-
-const (
-	// dynStart is the one-shot startup token: evaluate the initial state.
-	dynStart dynKind = iota + 1
-	// dynHeight carries the sender's current height.
-	dynHeight
-	// dynLinkUp tells the receiver it gained the link to Peer.
-	dynLinkUp
-	// dynLinkDown tells the receiver it lost the link to Peer.
-	dynLinkDown
-	// dynPoke asks a ceiling-suspended node to re-evaluate after the
-	// control plane raised the ceiling.
-	dynPoke
-)
-
-// dynMsg is a DynamicNetwork protocol or control message.
-type dynMsg struct {
-	Kind dynKind
-	Peer graph.NodeID
-	H    core.Height
-}
-
-// nbrView is a node's knowledge about one live neighbour or pending peer:
-// the freshest height heard (a lower bound of the true height) keyed by the
-// peer's ID. Views live in sorted slices, not maps — the hot path (sink
-// checks and height updates, once per message) only scans or binary-searches
-// them, while inserts and deletes happen on the rare churn events.
-type nbrView struct {
-	id    graph.NodeID
-	h     core.Height
-	known bool
-}
-
-// viewList is a slice of views sorted ascending by peer ID. The topology is
-// static between churn events, so lookups (per message) vastly outnumber
-// inserts and deletes (per link event); sorted-slice storage makes the
-// former allocation-free and cache-friendly and pays O(deg) movement only
-// for the latter.
-type viewList []nbrView
-
-// search returns the position of id and whether it is present.
-func (l viewList) search(id graph.NodeID) (int, bool) {
-	return slices.BinarySearchFunc(l, id, func(v nbrView, id graph.NodeID) int {
-		return cmp.Compare(v.id, id)
-	})
-}
-
-// get returns the view for id, if present.
-func (l viewList) get(id graph.NodeID) (nbrView, bool) {
-	if i, ok := l.search(id); ok {
-		return l[i], true
-	}
-	return nbrView{}, false
-}
-
-// put inserts or replaces the view for v.id, keeping the order.
-func (l *viewList) put(v nbrView) {
-	if i, ok := l.search(v.id); ok {
-		(*l)[i] = v
-	} else {
-		*l = slices.Insert(*l, i, v)
-	}
-}
-
-// remove deletes the view for id, if present, and reports whether it was.
-func (l *viewList) remove(id graph.NodeID) (nbrView, bool) {
-	i, ok := l.search(id)
-	if !ok {
-		return nbrView{}, false
-	}
-	v := (*l)[i]
-	*l = slices.Delete(*l, i, i+1)
-	return v, true
-}
-
 // DynamicNetwork runs the height-based Partial Reversal protocol
-// (Gafni–Bertsekas pair heights) with one goroutine per node over a
-// topology that changes at runtime. Links are added and failed through the
-// control-plane methods; nodes learn about changes via messages, exactly
-// like they learn about neighbour heights.
+// (Gafni–Bertsekas pair heights extended with TORA-style reference levels)
+// over a topology that changes at runtime. Links are added and failed, and
+// nodes added, removed, crashed and recovered, through the control-plane
+// methods; nodes learn about changes via messages, exactly like they learn
+// about neighbour heights. Two execution backends are available through
+// DynOptions: the goroutine-per-node reference and a sharded worker pool
+// that runs the same per-node logic on O(shards) goroutines.
 //
-// Heights only grow, so a component cut off from the destination reverses
-// forever. The network tracks a height ceiling: a node whose next height
-// would exceed it suspends instead of stepping, and AwaitQuiescence reports
-// the suspension as ErrHeightCeiling — the suspected-partition signal.
-// Healing the partition with AddLink raises the ceiling and wakes the
-// suspended nodes, letting the merged component converge.
+// Partition detection is exact: a component cut off from the destination
+// escalates through TORA reference levels — generate on a failure-caused
+// route loss, propagate, reflect at dead ends — until the defining node
+// sees its own reflection from every neighbour and parks. AwaitQuiescence
+// then validates suspicions against the authoritative adjacency and
+// reports a PartitionError naming precisely the nodes with no path to the
+// destination. Healing the cut with AddLink erases the stranded
+// component's heights (CLR-style) back to small zero-level values, so
+// heights do not ratchet upward across cut/heal cycles. A height ceiling
+// survives only as a runaway backstop for pathological concurrent churn.
 type DynamicNetwork struct {
-	// ctl serializes the control-plane operations AddLink and FailLink so
-	// that each adjacency update and its LinkUp/LinkDown injections form
-	// one atomic unit: without it, two concurrent calls on the same edge
-	// could deliver their messages in the opposite order of their
-	// adjacency updates and desync the nodes' neighbour views from adj.
-	// ctl is never held while mu is needed by the node goroutines' hot
-	// path, and injections must not run under mu (a full mailbox ingress
-	// could then deadlock against a node waiting for mu).
+	// ctl serializes the control-plane operations (AddLink, FailLink,
+	// AddNode, RemoveNode, Crash, Recover) so that each adjacency update
+	// and its message injections form one atomic unit: without it, two
+	// concurrent calls on the same edge could deliver their messages in the
+	// opposite order of their adjacency updates and desync the nodes'
+	// neighbour views from adj. ctl is never held while mu is needed by the
+	// nodes' hot path, and injections must not run under mu (a full mailbox
+	// ingress could then deadlock against a node waiting for mu).
 	ctl  sync.Mutex
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	opts DynOptions
 	n    int
 	dest graph.NodeID
 	// adj is the control plane's authoritative current link set.
 	adj map[graph.Edge]bool
-	// heights mirrors every node's current height (updated by the node
-	// under mu at step time), so snapshots and ceiling maintenance need no
-	// extra message round.
-	heights []core.Height
-	// suspended marks nodes parked at the height ceiling.
-	suspended []bool
-	inflight  int
-	stats     Stats
-	ceiling   int
-	slack     int
-	stopped   bool
+	// adjCache is the sorted adjacency derived from adj, rebuilt lazily
+	// after churn (adjDirty) and aliased read-only by Snapshots, so
+	// snapshots between churn events don't pay O(E log E) under mu.
+	adjCache [][]graph.NodeID
+	adjDirty bool
+	// degree is maintained incrementally by the link operations; zeroDeg
+	// counts live non-destination nodes with no links at all (trivially cut
+	// off), so the quiescence check needs no per-call scan.
+	degree  []int
+	zeroDeg int
+	// heights and gens mirror every node's current height and generation
+	// (updated by the node under mu at step time, and by the control plane
+	// at erasure time), so snapshots, erasure and ceiling maintenance need
+	// no extra message round.
+	heights []DynHeight
+	gens    []uint32
+	// suspended marks nodes parked at the runaway ceiling; detected marks
+	// nodes whose reference level came back reflected (the TORA partition
+	// signal); cut marks nodes named by the last PartitionError, pending
+	// erasure at heal. dead marks removed nodes, crashedCtl the control
+	// plane's crash ledger.
+	suspended      []bool
+	suspendedCount int
+	detected       []bool
+	detectedCount  int
+	cut            []bool
+	cutCount       int
+	dead           []bool
+	crashedCtl     []bool
+	everCrashed    bool
+
+	// reach, inR and depth are BFS scratch reused across AwaitQuiescence
+	// calls, so validation allocates nothing.
+	reach []bool
+	inR   []bool
+	depth []int
+	queue []graph.NodeID
+
+	inflight int
+	stats    Stats
+	retrans  atomic.Int64
+	// tau is the global failure counter reference levels draw from.
+	tau atomic.Uint32
+	// ceiling bounds zero-level a-growth, ceilingB reference-level δ
+	// descent; maxA and minB track the current extremes incrementally.
+	ceiling  int
+	ceilingB int
+	maxA     int
+	minB     int
+	slack    int
+	stopped  bool
+
+	inj *faults.Injector
+	be  dynBackend
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
-	tx       []chan dynMsg
 }
 
-// NewDynamicNetwork starts the goroutine-per-node protocol on topo's graph,
-// with initial heights chosen so the derived link directions equal topo's
-// initial orientation. Call AwaitQuiescence before reading a Snapshot, and
-// Stop when done.
+// NewDynamicNetwork starts the protocol on topo's graph with the default
+// options (goroutine-per-node backend, reliable network), with initial
+// heights chosen so the derived link directions equal topo's initial
+// orientation. Call AwaitQuiescence before reading a Snapshot, and Stop
+// when done.
 func NewDynamicNetwork(topo *workload.Topology) (*DynamicNetwork, error) {
+	return NewDynamicNetworkWith(topo, DynOptions{})
+}
+
+// NewDynamicNetworkWith starts the protocol on topo's graph with explicit
+// engine and fault options.
+func NewDynamicNetworkWith(topo *workload.Topology, opts DynOptions) (*DynamicNetwork, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	in, err := topo.Init()
 	if err != nil {
 		return nil, err
 	}
 	n := topo.Graph.NumNodes()
 	d := &DynamicNetwork{
-		n:         n,
-		dest:      topo.Dest,
-		adj:       make(map[graph.Edge]bool, topo.Graph.NumEdges()),
-		heights:   make([]core.Height, n),
-		suspended: make([]bool, n),
-		inflight:  n, // one start token per node
-		slack:     8*n + 64,
-		stop:      make(chan struct{}),
-		tx:        make([]chan dynMsg, n),
+		opts:       opts,
+		n:          n,
+		dest:       topo.Dest,
+		adj:        make(map[graph.Edge]bool, topo.Graph.NumEdges()),
+		degree:     make([]int, n),
+		heights:    make([]DynHeight, n),
+		gens:       make([]uint32, n),
+		suspended:  make([]bool, n),
+		detected:   make([]bool, n),
+		cut:        make([]bool, n),
+		dead:       make([]bool, n),
+		crashedCtl: make([]bool, n),
+		reach:      make([]bool, n),
+		inR:        make([]bool, n),
+		depth:      make([]int, n),
+		inflight:   n, // one start token per node
+		slack:      8*n + 64,
+		stop:       make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
-	d.ceiling = d.slack
 	for u := 0; u < n; u++ {
 		id := graph.NodeID(u)
-		d.heights[u] = core.Height{A: 0, B: -in.Embedding().Pos(id), ID: id}
-		d.tx[u] = make(chan dynMsg, defaultMailboxCap)
+		d.heights[u] = DynHeight{H: core.Height{A: 0, B: -in.Embedding().Pos(id), ID: id}}
+		if d.heights[u].H.B < d.minB {
+			d.minB = d.heights[u].H.B
+		}
 	}
+	d.ceiling = d.slack
+	d.ceilingB = -d.minB + d.slack
 	for _, e := range topo.Graph.Edges() {
 		d.adj[e] = true
+		d.degree[e.U]++
+		d.degree[e.V]++
 	}
-	for u := 0; u < n; u++ {
-		nd := &dynNode{
-			net: d,
-			id:  graph.NodeID(u),
-			h:   d.heights[u],
-			rx:  make(chan dynMsg),
+	for u, deg := range d.degree {
+		if deg == 0 && graph.NodeID(u) != d.dest {
+			d.zeroDeg++
 		}
+	}
+	d.adjDirty = true
+	d.rebuildAdjLocked()
+	if opts.Adversary != nil {
+		d.inj = faults.NewInjector(opts.Adversary)
+	}
+	states := make([]*dynState, n)
+	for u := 0; u < n; u++ {
+		st := &dynState{net: d, id: graph.NodeID(u), h: d.heights[u]}
 		// The initial topology and heights are common knowledge at startup:
 		// every node knows its neighbours' initial heights, exactly as the
 		// sequential engines assume a globally known initial orientation.
-		// Neighbors is ascending, so appending keeps the view list sorted.
-		for _, v := range topo.Graph.Neighbors(nd.id) {
-			nd.nbrs = append(nd.nbrs, nbrView{id: v, h: d.heights[v], known: true})
+		// adjCache is ascending, so appending keeps the view list sorted.
+		for _, v := range d.adjCache[u] {
+			st.nbrs = append(st.nbrs, nbrView{id: v, h: d.heights[v], known: true})
 		}
-		d.wg.Add(2)
-		go func(in <-chan dynMsg, out chan<- dynMsg) {
-			defer d.wg.Done()
-			mailbox(in, out, d.stop)
-		}(d.tx[u], nd.rx)
-		go nd.loop()
+		states[u] = st
 	}
+	switch opts.Engine {
+	case Sharded:
+		d.be = newDynShardBackend(d, states)
+	default:
+		d.be = newDynGoBackend(d, states)
+	}
+	d.be.start()
 	return d, nil
 }
 
-// dynNode is the per-goroutine state of one DynamicNetwork participant.
-type dynNode struct {
-	net *DynamicNetwork
-	id  graph.NodeID
-	h   core.Height
-	// nbrs holds the current live neighbours and the freshest height heard
-	// from each, sorted by ID. Stored heights are lower bounds of the true
-	// heights.
-	nbrs viewList
-	// pending buffers heights that arrived from nodes not currently
-	// neighbours (late or early deliveries around link churn), sorted by
-	// ID; they are merged if the link (re)appears. Heights are monotone, so
-	// a stale entry is still a valid lower bound.
-	pending viewList
-	// parked mirrors net.suspended[id] locally so the per-message fast
-	// path (not a sink, never suspended) needs no lock.
-	parked bool
-	rx     chan dynMsg
-}
-
-// send delivers m to v's mailbox, giving up on shutdown.
-func (nd *dynNode) send(v graph.NodeID, m dynMsg) {
-	select {
-	case nd.net.tx[v] <- m:
-	case <-nd.net.stop:
+// rebuildAdjLocked refreshes the sorted adjacency cache after churn. It
+// always builds fresh slices, so snapshots that alias the previous cache
+// stay valid. Callers must hold mu.
+func (d *DynamicNetwork) rebuildAdjLocked() {
+	if !d.adjDirty {
+		return
 	}
-}
-
-// merge records h as the viewed peer's height if it improves on the
-// current knowledge.
-func mergeHeight(view nbrView, h core.Height) nbrView {
-	if !view.known || view.h.Less(h) {
-		return nbrView{id: view.id, h: h, known: true}
+	adj := make([][]graph.NodeID, d.n)
+	for e := range d.adj {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
 	}
-	return view
-}
-
-// viewSink reports whether this node believes it is an enabled sink: every
-// live neighbour's height is known and lexicographically above its own.
-func (nd *dynNode) viewSink() bool {
-	if nd.id == nd.net.dest || len(nd.nbrs) == 0 {
-		return false
+	for _, nbrs := range adj {
+		slices.Sort(nbrs)
 	}
-	for _, view := range nd.nbrs {
-		if !view.known || view.h.Less(nd.h) || view.h == nd.h {
-			return false
-		}
-	}
-	return true
-}
-
-// candidateA is the GB partial-reversal a-update over the current view.
-func (nd *dynNode) candidateA() int {
-	first := true
-	minA := 0
-	for _, view := range nd.nbrs {
-		if first || view.h.A < minA {
-			minA = view.h.A
-			first = false
-		}
-	}
-	return minA + 1
-}
-
-// act steps while this node is a view-sink and the next height stays under
-// the ceiling; if the ceiling blocks a step the node suspends until new
-// information arrives. It returns with the node's suspension mirror up to
-// date.
-func (nd *dynNode) act() {
-	net := nd.net
-	for {
-		if !nd.viewSink() {
-			if nd.parked {
-				net.mu.Lock()
-				net.suspended[nd.id] = false
-				net.mu.Unlock()
-				nd.parked = false
-			}
-			return
-		}
-		newA := nd.candidateA()
-		net.mu.Lock()
-		if newA > net.ceiling {
-			net.suspended[nd.id] = true
-			net.mu.Unlock()
-			nd.parked = true
-			return
-		}
-		// GB pair rule: b := min{b[v] : a[v] = newA} − 1 when such a
-		// neighbour exists, else b is unchanged.
-		newB := nd.h.B
-		foundB := false
-		for _, view := range nd.nbrs {
-			if view.h.A != newA {
-				continue
-			}
-			if cand := view.h.B - 1; !foundB || cand < newB {
-				newB = cand
-				foundB = true
-			}
-		}
-		newH := core.Height{A: newA, B: newB, ID: nd.id}
-		flips := 0
-		for _, view := range nd.nbrs {
-			if view.h.Less(newH) {
-				flips++
-			}
-		}
-		nd.h = newH
-		net.heights[nd.id] = newH
-		net.suspended[nd.id] = false
-		net.stats.Steps++
-		net.stats.TotalReversals += flips
-		net.stats.Messages += len(nd.nbrs)
-		net.inflight += len(nd.nbrs)
-		net.mu.Unlock()
-		nd.parked = false
-		for _, view := range nd.nbrs {
-			nd.send(view.id, dynMsg{Kind: dynHeight, Peer: nd.id, H: newH})
-		}
-	}
-}
-
-// handle processes one message and re-evaluates the node's protocol state.
-func (nd *dynNode) handle(m dynMsg) {
-	switch m.Kind {
-	case dynStart, dynPoke:
-		// Nothing to record; act below re-evaluates.
-	case dynHeight:
-		if i, ok := nd.nbrs.search(m.Peer); ok {
-			nd.nbrs[i] = mergeHeight(nd.nbrs[i], m.H)
-		} else if cur, ok := nd.pending.get(m.Peer); !ok || cur.h.Less(m.H) {
-			nd.pending.put(nbrView{id: m.Peer, h: m.H, known: true})
-		}
-	case dynLinkUp:
-		view := nbrView{id: m.Peer}
-		if p, ok := nd.pending.remove(m.Peer); ok {
-			view = p
-		}
-		nd.nbrs.put(view)
-		// Introduce ourselves so the peer can orient the new link.
-		nd.net.mu.Lock()
-		nd.net.stats.Messages++
-		nd.net.inflight++
-		nd.net.mu.Unlock()
-		nd.send(m.Peer, dynMsg{Kind: dynHeight, Peer: nd.id, H: nd.h})
-	case dynLinkDown:
-		nd.nbrs.remove(m.Peer)
-	}
-	nd.act()
-}
-
-// loop is the node goroutine: consume the start token, then serve messages
-// until shutdown.
-func (nd *dynNode) loop() {
-	defer nd.net.wg.Done()
-	nd.handle(dynMsg{Kind: dynStart})
-	nd.net.retire(1)
-	for {
-		select {
-		case <-nd.net.stop:
-			return
-		case m := <-nd.rx:
-			nd.handle(m)
-			nd.net.retire(1)
-		}
-	}
+	d.adjCache = adj
+	d.adjDirty = false
 }
 
 // retire returns n in-flight tokens and wakes AwaitQuiescence waiters when
 // the network drains.
 func (d *DynamicNetwork) retire(n int) {
+	if n == 0 {
+		return
+	}
 	d.mu.Lock()
 	d.inflight -= n
 	if d.inflight == 0 {
@@ -371,9 +230,70 @@ func (d *DynamicNetwork) retire(n int) {
 	d.mu.Unlock()
 }
 
-func (d *DynamicNetwork) validLink(u, v graph.NodeID) error {
-	if int(u) < 0 || int(u) >= d.n || int(v) < 0 || int(v) >= d.n {
-		return fmt.Errorf("%w: {%d,%d}", ErrUnknownNode, u, v)
+// isStopped reports whether Stop was called, without taking mu.
+func (d *DynamicNetwork) isStopped() bool {
+	select {
+	case <-d.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// fanout delivers m on behalf of st, routing height announcements through
+// the fault injector: a dropped transmission is retransmitted immediately
+// (the fair-loss bound terminates the loop — this is the ack/retransmit
+// protocol with zero-latency loss notifications), duplicate copies take
+// extra in-flight tokens, and holdbacks ride in the message for the
+// receiver to requeue. Control traffic bypasses the adversary: the control
+// plane's view of the topology must stay authoritative.
+func (d *DynamicNetwork) fanout(st *dynState, m dynMsg, deliver func(dynMsg)) {
+	if d.inj == nil || m.Kind != dynHeight {
+		deliver(m)
+		return
+	}
+	st.seq++
+	link := faults.Link{From: st.id, To: m.To}
+	for attempt := 0; ; attempt++ {
+		f := d.inj.Judge(link, faults.Msg{Seq: st.seq, Attempt: attempt})
+		if f.Drop {
+			d.retrans.Add(1)
+			continue
+		}
+		m.Hold = uint8(f.Hold)
+		if f.Extra > 0 {
+			d.mu.Lock()
+			d.inflight += f.Extra
+			d.mu.Unlock()
+		}
+		for c := 0; c <= f.Extra; c++ {
+			deliver(m)
+		}
+		return
+	}
+}
+
+// inject delivers a control message to m.To. The in-flight token was
+// accounted by the caller under mu, so AwaitQuiescence cannot report
+// quiescence before the message is handled.
+func (d *DynamicNetwork) inject(m dynMsg) { d.be.inject(m) }
+
+func (d *DynamicNetwork) validNode(u graph.NodeID) error {
+	if int(u) < 0 || int(u) >= d.n {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, u)
+	}
+	if d.dead[u] {
+		return fmt.Errorf("%w: node %d was removed", ErrUnknownNode, u)
+	}
+	return nil
+}
+
+func (d *DynamicNetwork) validLinkLocked(u, v graph.NodeID) error {
+	if err := d.validNode(u); err != nil {
+		return err
+	}
+	if err := d.validNode(v); err != nil {
+		return err
 	}
 	if u == v {
 		return fmt.Errorf("%w: %d", ErrSelfLink, u)
@@ -381,27 +301,41 @@ func (d *DynamicNetwork) validLink(u, v graph.NodeID) error {
 	return nil
 }
 
-// maxALocked returns the largest a-component currently held by any node.
-// Callers must hold mu.
-func (d *DynamicNetwork) maxALocked() int {
-	maxA := 0
-	for _, h := range d.heights {
-		if h.A > maxA {
-			maxA = h.A
-		}
+// degIncLocked and degDecLocked maintain the incremental degree counts and
+// the zero-degree tally behind the allocation-free quiescence check.
+func (d *DynamicNetwork) degIncLocked(u graph.NodeID) {
+	if d.degree[u] == 0 && u != d.dest && !d.dead[u] {
+		d.zeroDeg--
 	}
-	return maxA
+	d.degree[u]++
+}
+
+func (d *DynamicNetwork) degDecLocked(u graph.NodeID) {
+	d.degree[u]--
+	if d.degree[u] == 0 && u != d.dest && !d.dead[u] {
+		d.zeroDeg++
+	}
+}
+
+// raiseCeilingLocked gives the runaway backstops fresh headroom above the
+// current height extremes.
+func (d *DynamicNetwork) raiseCeilingLocked() {
+	if c := d.maxA + d.slack; c > d.ceiling {
+		d.ceiling = c
+	}
+	if c := -d.minB + d.slack; c > d.ceilingB {
+		d.ceilingB = c
+	}
 }
 
 // AddLink inserts the link {u,v}. The endpoints learn of it by message and
 // exchange heights to orient it, so acyclicity is preserved
-// unconditionally. AddLink is also the healing action after a suspected
-// partition: it raises the height ceiling above the current maximum and
-// wakes every ceiling-suspended node.
+// unconditionally. AddLink is also the healing action after a partition:
+// if the network is quiescent and nodes are marked cut or detected, their
+// (now reachable) component's heights are erased to small zero-level
+// values before the endpoints are introduced — the CLR-like reset that
+// stops heights from ratcheting upward across cut/heal cycles.
 func (d *DynamicNetwork) AddLink(u, v graph.NodeID) error {
-	if err := d.validLink(u, v); err != nil {
-		return err
-	}
 	d.ctl.Lock()
 	defer d.ctl.Unlock()
 	e := graph.NormalizedEdge(u, v)
@@ -409,38 +343,54 @@ func (d *DynamicNetwork) AddLink(u, v graph.NodeID) error {
 	if d.stopped {
 		d.mu.Unlock()
 		return ErrStopped
+	}
+	if err := d.validLinkLocked(u, v); err != nil {
+		d.mu.Unlock()
+		return err
 	}
 	if d.adj[e] {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: {%d,%d}", ErrLinkExists, e.U, e.V)
 	}
 	d.adj[e] = true
-	if c := d.maxALocked() + d.slack; c > d.ceiling {
-		d.ceiling = c
+	d.degIncLocked(e.U)
+	d.degIncLocked(e.V)
+	d.adjDirty = true
+	d.raiseCeilingLocked()
+	var erase []dynMsg
+	if d.cutCount+d.detectedCount > 0 && d.inflight == 0 {
+		// The network is quiescent and carries partition marks: erase the
+		// stranded heights before the new link's introductions flow, so the
+		// healed component rejoins at small zero-level heights and its
+		// reference levels never leak across the new link.
+		erase = d.eraseLocked()
 	}
 	var pokes []graph.NodeID
-	for id, s := range d.suspended {
-		if s {
-			pokes = append(pokes, graph.NodeID(id))
+	if d.suspendedCount > 0 {
+		for id, s := range d.suspended {
+			if s {
+				pokes = append(pokes, graph.NodeID(id))
+			}
 		}
 	}
-	d.inflight += 2 + len(pokes)
+	d.inflight += len(erase) + 2 + len(pokes)
 	d.mu.Unlock()
-	d.inject(u, dynMsg{Kind: dynLinkUp, Peer: v})
-	d.inject(v, dynMsg{Kind: dynLinkUp, Peer: u})
+	for _, m := range erase {
+		d.inject(m)
+	}
+	d.inject(dynMsg{Kind: dynLinkUp, To: u, Peer: v})
+	d.inject(dynMsg{Kind: dynLinkUp, To: v, Peer: u})
 	for _, id := range pokes {
-		d.inject(id, dynMsg{Kind: dynPoke})
+		d.inject(dynMsg{Kind: dynPoke, To: id})
 	}
 	return nil
 }
 
-// FailLink removes the link {u,v}. The endpoints learn of it by message;
-// a node that loses its last outgoing link becomes a sink and repairs via
-// partial reversal.
+// FailLink removes the link {u,v}. The endpoints learn of it by message; a
+// node that loses its last outgoing link to the failure defines a fresh
+// reference level (the TORA generate case), which is what makes partition
+// detection take O(component) steps instead of a ceiling grind.
 func (d *DynamicNetwork) FailLink(u, v graph.NodeID) error {
-	if err := d.validLink(u, v); err != nil {
-		return err
-	}
 	d.ctl.Lock()
 	defer d.ctl.Unlock()
 	e := graph.NormalizedEdge(u, v)
@@ -449,74 +399,406 @@ func (d *DynamicNetwork) FailLink(u, v graph.NodeID) error {
 		d.mu.Unlock()
 		return ErrStopped
 	}
+	if err := d.validLinkLocked(u, v); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	if !d.adj[e] {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: {%d,%d}", ErrNoSuchLink, e.U, e.V)
 	}
 	delete(d.adj, e)
+	d.degDecLocked(e.U)
+	d.degDecLocked(e.V)
+	d.adjDirty = true
 	d.inflight += 2
 	d.mu.Unlock()
-	d.inject(u, dynMsg{Kind: dynLinkDown, Peer: v})
-	d.inject(v, dynMsg{Kind: dynLinkDown, Peer: u})
+	d.inject(dynMsg{Kind: dynLinkDown, To: u, Peer: v})
+	d.inject(dynMsg{Kind: dynLinkDown, To: v, Peer: u})
 	return nil
 }
 
-// inject delivers a control message from the control plane to id's
-// mailbox. The in-flight token was accounted by the caller under mu, so
-// AwaitQuiescence cannot report quiescence before the message is handled.
-func (d *DynamicNetwork) inject(id graph.NodeID, m dynMsg) {
-	select {
-	case d.tx[id] <- m:
-	case <-d.stop:
+// AddNode grows the network by one node with no links and returns its ID.
+// The node is trivially cut off until AddLink attaches it, and
+// AwaitQuiescence will report it so; attach it before awaiting.
+func (d *DynamicNetwork) AddNode() (graph.NodeID, error) {
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return 0, ErrStopped
 	}
+	id := graph.NodeID(d.n)
+	d.n++
+	d.slack = 8*d.n + 64
+	d.heights = append(d.heights, DynHeight{H: core.Height{ID: id}})
+	d.gens = append(d.gens, 0)
+	d.degree = append(d.degree, 0)
+	d.zeroDeg++
+	d.suspended = append(d.suspended, false)
+	d.detected = append(d.detected, false)
+	d.cut = append(d.cut, false)
+	d.dead = append(d.dead, false)
+	d.crashedCtl = append(d.crashedCtl, false)
+	d.reach = append(d.reach, false)
+	d.inR = append(d.inR, false)
+	d.depth = append(d.depth, 0)
+	d.adjCache = append(d.adjCache, nil)
+	st := &dynState{net: d, id: id, h: d.heights[id]}
+	d.mu.Unlock()
+	d.be.addNode(st)
+	return id, nil
+}
+
+// RemoveNode permanently removes u and all its links. Neighbours learn by
+// linkDown message; the node itself discards its state and ignores all
+// further traffic. The destination cannot be removed.
+func (d *DynamicNetwork) RemoveNode(u graph.NodeID) error {
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return ErrStopped
+	}
+	if err := d.validNode(u); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if u == d.dest {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: cannot remove the destination %d", ErrSelfLink, u)
+	}
+	d.rebuildAdjLocked()
+	links := d.adjCache[u]
+	for _, v := range links {
+		delete(d.adj, graph.NormalizedEdge(u, v))
+		d.degDecLocked(u)
+		d.degDecLocked(v)
+	}
+	// u is dead now: retract its zero-degree tally and partition marks.
+	if d.degree[u] == 0 {
+		d.zeroDeg--
+	}
+	d.dead[u] = true
+	d.crashedCtl[u] = false
+	if d.cut[u] {
+		d.cut[u] = false
+		d.cutCount--
+	}
+	if d.detected[u] {
+		d.detected[u] = false
+		d.detectedCount--
+	}
+	if d.suspended[u] {
+		d.suspended[u] = false
+		d.suspendedCount--
+	}
+	d.adjDirty = true
+	d.inflight += 1 + len(links)
+	d.mu.Unlock()
+	d.inject(dynMsg{Kind: dynRemove, To: u})
+	for _, v := range links {
+		d.inject(dynMsg{Kind: dynLinkDown, To: v, Peer: u})
+	}
+	return nil
+}
+
+// Crash crash-stops u: it drops every protocol message until Recover. Its
+// links stay in the topology (a crashed node still counts as a connector
+// for partition validation — it resumes with its state intact).
+func (d *DynamicNetwork) Crash(u graph.NodeID) error {
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return ErrStopped
+	}
+	if err := d.validNode(u); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if d.crashedCtl[u] {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrCrashed, u)
+	}
+	d.crashedCtl[u] = true
+	d.everCrashed = true
+	d.inflight++
+	d.mu.Unlock()
+	d.inject(dynMsg{Kind: dynCrash, To: u})
+	return nil
+}
+
+// Recover ends u's crash window. The node resumes from the control plane's
+// snapshot: the recovery message carries the authoritative neighbourhood
+// with current heights and generations (the node missed every link event
+// and announcement while crashed), and the node re-announces itself so
+// peers whose introductions it dropped catch up.
+func (d *DynamicNetwork) Recover(u graph.NodeID) error {
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return ErrStopped
+	}
+	if err := d.validNode(u); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if !d.crashedCtl[u] {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNotCrashed, u)
+	}
+	d.rebuildAdjLocked()
+	views := make([]nbrView, 0, len(d.adjCache[u]))
+	for _, v := range d.adjCache[u] {
+		views = append(views, nbrView{id: v, h: d.heights[v], gen: d.gens[v], known: true})
+	}
+	d.crashedCtl[u] = false
+	d.inflight++
+	d.mu.Unlock()
+	d.inject(dynMsg{Kind: dynRecover, To: u, Views: views})
+	return nil
+}
+
+// computeReachLocked runs a BFS from the destination over the
+// authoritative adjacency into the reach scratch. Dead nodes have no links
+// and are never visited; crashed nodes count as connectors.
+func (d *DynamicNetwork) computeReachLocked() {
+	d.rebuildAdjLocked()
+	for i := range d.reach {
+		d.reach[i] = false
+	}
+	q := d.queue[:0]
+	d.reach[d.dest] = true
+	q = append(q, d.dest)
+	for h := 0; h < len(q); h++ {
+		for _, v := range d.adjCache[q[h]] {
+			if !d.reach[v] {
+				d.reach[v] = true
+				q = append(q, v)
+			}
+		}
+	}
+	d.queue = q[:0]
+}
+
+// cutLocked validates reachability and returns the live nodes with no path
+// to the destination, ascending. A non-empty result refreshes the cut
+// marks consumed by the heal-time erasure.
+func (d *DynamicNetwork) cutLocked() []graph.NodeID {
+	d.computeReachLocked()
+	var cut []graph.NodeID
+	for u := 0; u < d.n; u++ {
+		if !d.dead[u] && !d.reach[u] {
+			cut = append(cut, graph.NodeID(u))
+		}
+	}
+	if len(cut) > 0 {
+		for u := range d.cut {
+			d.cut[u] = false
+		}
+		for _, u := range cut {
+			d.cut[u] = true
+		}
+		d.cutCount = len(cut)
+	}
+	return cut
+}
+
+// eraseLocked is the CLR-like height erasure: every live, reachable node
+// carrying a partition mark (cut, detected or suspended) has its height
+// rewritten to a small zero-level value and its generation bumped, so the
+// healed component rejoins without any trace of the reference levels and
+// inflated heights the partition left behind.
+//
+// The new heights are BFS layers within the marked region, seeded at its
+// frontier (marked nodes adjacent to an unmarked live node): layer k gets
+// height (0, k, id), which drains the region deterministically toward the
+// live side. The returned messages carry, in order, height corrections to
+// the region's outside neighbours (so no stale view of a lowered node
+// survives anywhere) followed by the per-node resets; callers must account
+// their tokens and inject them in exactly this order. Callers must hold mu
+// and ensure the network is quiescent (inflight == 0).
+func (d *DynamicNetwork) eraseLocked() []dynMsg {
+	d.computeReachLocked()
+	members := 0
+	for u := 0; u < d.n; u++ {
+		d.inR[u] = !d.dead[u] && d.reach[u] && (d.cut[u] || d.detected[u] || d.suspended[u])
+		if d.inR[u] {
+			members++
+			d.depth[u] = -1
+		}
+	}
+	if members == 0 {
+		return nil
+	}
+	// Layer assignment: multi-source BFS from the region's frontier.
+	q := d.queue[:0]
+	for u := 0; u < d.n; u++ {
+		if !d.inR[u] {
+			continue
+		}
+		for _, v := range d.adjCache[u] {
+			if !d.inR[v] && !d.dead[v] {
+				d.depth[u] = 0
+				q = append(q, graph.NodeID(u))
+				break
+			}
+		}
+	}
+	for h := 0; h < len(q); h++ {
+		u := q[h]
+		for _, v := range d.adjCache[u] {
+			if d.inR[v] && d.depth[v] == -1 {
+				d.depth[v] = d.depth[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	d.queue = q[:0]
+	// Adopt the erased heights in the mirrors and clear the marks.
+	for u := 0; u < d.n; u++ {
+		if !d.inR[u] {
+			continue
+		}
+		layer := d.depth[u]
+		if layer < 0 {
+			// Unreachable within the region (cannot happen: every marked
+			// node's path to the destination exits the region through a
+			// frontier node); park it above the region as a safety net.
+			layer = d.n
+		}
+		d.gens[u]++
+		d.heights[u] = DynHeight{H: core.Height{A: 0, B: layer, ID: graph.NodeID(u)}}
+		if d.cut[u] {
+			d.cut[u] = false
+			d.cutCount--
+		}
+		if d.detected[u] {
+			d.detected[u] = false
+			d.detectedCount--
+		}
+		if d.suspended[u] {
+			d.suspended[u] = false
+			d.suspendedCount--
+		}
+	}
+	// Corrections first: by the time any post-erasure message reaches an
+	// outside neighbour, its view of the lowered node is already current
+	// (per-receiver FIFO delivers the earlier-enqueued correction first).
+	var msgs []dynMsg
+	for u := 0; u < d.n; u++ {
+		if !d.inR[u] {
+			continue
+		}
+		for _, v := range d.adjCache[u] {
+			if !d.inR[v] && !d.dead[v] {
+				msgs = append(msgs, dynMsg{
+					Kind: dynHeight, To: v, Peer: graph.NodeID(u),
+					H: d.heights[u], Gen: d.gens[u],
+				})
+			}
+		}
+	}
+	for u := 0; u < d.n; u++ {
+		if !d.inR[u] {
+			continue
+		}
+		views := make([]nbrView, 0, len(d.adjCache[u]))
+		for _, v := range d.adjCache[u] {
+			views = append(views, nbrView{id: v, h: d.heights[v], gen: d.gens[v], known: true})
+		}
+		msgs = append(msgs, dynMsg{
+			Kind: dynReset, To: graph.NodeID(u),
+			H: d.heights[u], Gen: d.gens[u], Views: views,
+		})
+	}
+	return msgs
 }
 
 // AwaitQuiescence blocks until no node wants to step and no message is in
-// flight. It returns nil on clean quiescence (and raises the height
-// ceiling above the settled heights, giving subsequent churn fresh
-// headroom), ErrHeightCeiling on a suspected partition, and ErrStopped
-// after Stop.
+// flight, then validates the settled state against the authoritative
+// topology. It returns nil on clean quiescence with every live node
+// connected to the destination, a *PartitionError naming exactly the cut
+// nodes otherwise, and ErrStopped after Stop.
 //
-// A partition is suspected when any node is parked at the height ceiling
-// (a multi-node component cut off from the destination reverses forever,
-// so its heights climb past any bound) or when a non-destination node has
-// no links at all (a degree-zero node never becomes a sink, but it is cut
-// off just the same). Reporting both cases keeps the healing contract
-// simple: as long as the caller repairs the link named by the failing
-// event — the E11 pattern — the network is destination-connected after
-// every event, and destination-less islands can never accrete silently.
+// Detection is prompt: a component cut off from the destination escalates
+// through reference levels and parks in O(component) steps instead of
+// grinding heights to a ceiling. The validation itself is a BFS over the
+// control plane's adjacency, so the report is exact regardless of how the
+// protocol signalled (reflection, ceiling park, an isolated node, or a
+// component silenced by a crash). On the clean path the check is
+// allocation-free: degree counts are incremental and the BFS scratch is
+// reused, and the BFS is skipped entirely when no partition signal, crash
+// or zero-degree node exists to justify it.
 func (d *DynamicNetwork) AwaitQuiescence() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for d.inflight > 0 && !d.stopped {
-		d.cond.Wait()
-	}
-	if d.stopped {
-		return ErrStopped
-	}
-	for _, s := range d.suspended {
-		if s {
-			return ErrHeightCeiling
+	for {
+		for d.inflight > 0 && !d.stopped {
+			d.cond.Wait()
 		}
-	}
-	degree := make([]int, d.n)
-	for e := range d.adj {
-		degree[e.U]++
-		degree[e.V]++
-	}
-	for u, deg := range degree {
-		if deg == 0 && graph.NodeID(u) != d.dest {
-			return fmt.Errorf("%w: node %d has no links", ErrHeightCeiling, u)
+		if d.stopped {
+			return ErrStopped
 		}
+		if d.suspendedCount == 0 && d.detectedCount == 0 && d.cutCount == 0 &&
+			d.zeroDeg == 0 && !d.everCrashed {
+			d.raiseCeilingLocked()
+			return nil
+		}
+		if cut := d.cutLocked(); len(cut) > 0 {
+			return &PartitionError{Cut: cut}
+		}
+		if d.cutCount+d.detectedCount > 0 {
+			// Partition marks without an actual cut: the caller healed the
+			// topology without going through AddLink's quiescent-heal path
+			// (or detection raced a concurrent heal). Erase the stranded
+			// component now and wait for the reset cascade to settle.
+			msgs := d.eraseLocked()
+			d.raiseCeilingLocked()
+			if len(msgs) == 0 {
+				continue
+			}
+			d.inflight += len(msgs)
+			d.mu.Unlock()
+			for _, m := range msgs {
+				d.inject(m)
+			}
+			d.mu.Lock()
+			continue
+		}
+		if d.suspendedCount > 0 {
+			// Ceiling parks with full reachability: a legitimate cascade
+			// outran the runaway backstop. Raise it and resume the parked
+			// nodes.
+			d.raiseCeilingLocked()
+			pokes := 0
+			for id, s := range d.suspended {
+				if s {
+					pokes++
+					d.inflight++
+					id := graph.NodeID(id)
+					d.mu.Unlock()
+					d.inject(dynMsg{Kind: dynPoke, To: id})
+					d.mu.Lock()
+				}
+			}
+			if pokes > 0 {
+				continue
+			}
+		}
+		d.raiseCeilingLocked()
+		return nil
 	}
-	if c := d.maxALocked() + d.slack; c > d.ceiling {
-		d.ceiling = c
-	}
-	return nil
 }
 
-// Stop terminates every node goroutine and waits for them to exit. It is
-// idempotent and wakes any AwaitQuiescence caller with ErrStopped.
+// Stop terminates every backend goroutine and waits for them to exit. It
+// is idempotent and wakes any AwaitQuiescence caller with ErrStopped.
 func (d *DynamicNetwork) Stop() {
 	d.stopOnce.Do(func() {
 		d.mu.Lock()
@@ -539,33 +821,43 @@ type Snapshot struct {
 	Steps          int
 	Messages       int
 	TotalReversals int
+	// Drops, Dups, Held and Retransmits count what the fault adversary did
+	// to the height announcements; all zero on a reliable network.
+	Drops       int
+	Dups        int
+	Held        int
+	Retransmits int
 	// Dest is the destination node.
 	Dest graph.NodeID
 	// Heights holds every node's height; edge {u,v} points from the
 	// lexicographically larger to the smaller endpoint.
-	Heights []core.Height
+	Heights []DynHeight
 	adj     [][]graph.NodeID
+	dead    []bool
 }
 
-// Snapshot captures the network's current global state.
+// Snapshot captures the network's current global state. Between churn
+// events the sorted adjacency is served from a cache, so repeated
+// snapshots cost O(n) copies, not O(E log E) sorts under mu.
 func (d *DynamicNetwork) Snapshot() *Snapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.rebuildAdjLocked()
 	s := &Snapshot{
 		Steps:          d.stats.Steps,
 		Messages:       d.stats.Messages,
 		TotalReversals: d.stats.TotalReversals,
+		Retransmits:    int(d.retrans.Load()),
 		Dest:           d.dest,
-		Heights:        make([]core.Height, d.n),
-		adj:            make([][]graph.NodeID, d.n),
+		Heights:        make([]DynHeight, d.n),
+		adj:            d.adjCache,
+		dead:           make([]bool, d.n),
 	}
 	copy(s.Heights, d.heights)
-	for e := range d.adj {
-		s.adj[e.U] = append(s.adj[e.U], e.V)
-		s.adj[e.V] = append(s.adj[e.V], e.U)
-	}
-	for _, nbrs := range s.adj {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	copy(s.dead, d.dead)
+	if d.inj != nil {
+		fs := d.inj.Snapshot()
+		s.Drops, s.Dups, s.Held = fs.Drops, fs.Dups, fs.Held
 	}
 	return s
 }
@@ -576,6 +868,12 @@ func (s *Snapshot) Links(u graph.NodeID) []graph.NodeID {
 		return nil
 	}
 	return s.adj[u]
+}
+
+// Removed reports whether u had been removed from the network when the
+// snapshot was taken.
+func (s *Snapshot) Removed(u graph.NodeID) bool {
+	return int(u) >= 0 && int(u) < len(s.dead) && s.dead[u]
 }
 
 // RouteFrom follows strictly decreasing heights from src toward dst and

@@ -1,0 +1,310 @@
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"linkreversal/internal/graph"
+)
+
+// dynBackend is a DynamicNetwork execution engine: it owns the per-node
+// dynState executors and moves dynMsgs between them. Both backends run the
+// identical protocol logic in dynnode.go; they differ only in scheduling.
+type dynBackend interface {
+	// start launches the executors for the construction-time nodes. Each
+	// node's start token was accounted in the constructor.
+	start()
+	// addNode attaches an executor for a node added at runtime. The backend
+	// accounts the node's own start token.
+	addNode(st *dynState)
+	// inject delivers one control-plane message whose token the caller
+	// accounted.
+	inject(m dynMsg)
+}
+
+// dynGoBackend is the goroutine-per-node reference engine: one mailbox
+// pump plus one handler goroutine per node, unbounded effective mailbox
+// via the elastic pump, per-node FIFO delivery.
+type dynGoBackend struct {
+	net    *DynamicNetwork
+	states []*dynState
+	// tx is published by copy-on-write so AddNode never blocks senders;
+	// senders reach new entries only via messages that causally follow the
+	// publication.
+	tx atomic.Pointer[[]chan dynMsg]
+}
+
+func newDynGoBackend(net *DynamicNetwork, states []*dynState) *dynGoBackend {
+	return &dynGoBackend{net: net, states: states}
+}
+
+func (b *dynGoBackend) start() {
+	txs := make([]chan dynMsg, len(b.states))
+	for i := range txs {
+		txs[i] = make(chan dynMsg, b.net.opts.MailboxCap)
+	}
+	b.tx.Store(&txs)
+	for _, st := range b.states {
+		b.spawn(st, txs[st.id])
+	}
+}
+
+func (b *dynGoBackend) addNode(st *dynState) {
+	old := *b.tx.Load()
+	txs := make([]chan dynMsg, len(old)+1)
+	copy(txs, old)
+	ch := make(chan dynMsg, b.net.opts.MailboxCap)
+	txs[st.id] = ch
+	b.tx.Store(&txs)
+	b.net.mu.Lock()
+	b.net.inflight++ // the new node's start token
+	b.net.mu.Unlock()
+	b.spawn(st, ch)
+}
+
+func (b *dynGoBackend) spawn(st *dynState, tx chan dynMsg) {
+	rx := make(chan dynMsg)
+	b.net.wg.Add(2)
+	go func() {
+		defer b.net.wg.Done()
+		mailbox(tx, rx, b.net.stop)
+	}()
+	go b.loop(st, rx)
+}
+
+func (b *dynGoBackend) loop(st *dynState, rx chan dynMsg) {
+	defer b.net.wg.Done()
+	if st.handle(b, dynMsg{Kind: dynStart, To: st.id}) {
+		b.net.retire(1)
+	}
+	for {
+		select {
+		case <-b.net.stop:
+			return
+		case m := <-rx:
+			if st.handle(b, m) {
+				b.net.retire(1)
+			}
+		}
+	}
+}
+
+func (b *dynGoBackend) push(m dynMsg) {
+	txs := *b.tx.Load()
+	select {
+	case txs[m.To] <- m:
+	case <-b.net.stop:
+	}
+}
+
+func (b *dynGoBackend) inject(m dynMsg) { b.push(m) }
+
+// transmit and requeue implement dynEnv. Requeueing is a self-send: the
+// pump always consumes, so it cannot deadlock, and the message lands
+// behind the node's current backlog exactly as the holdback fault wants.
+func (b *dynGoBackend) transmit(st *dynState, m dynMsg) { b.net.fanout(st, m, b.push) }
+func (b *dynGoBackend) requeue(st *dynState, m dynMsg)  { b.push(m) }
+
+// dynShardBackend runs the same protocol on a fixed worker pool: nodes are
+// partitioned across shards, each shard owns its nodes' states outright
+// and processes its run-queue to exhaustion, and cross-shard messages
+// travel in batches through per-shard elastic pumps. Unlike the static
+// engine's batch tokens, every dynamic message carries its own in-flight
+// token: control injections and fault-plane duplicates make per-batch
+// accounting the wrong granularity here.
+type dynShardBackend struct {
+	net    *DynamicNetwork
+	part   partitioner
+	shards []*dynShard
+	// states is published copy-on-write for the same reason as the
+	// goroutine backend's tx slice.
+	states atomic.Pointer[[]*dynState]
+	pool   sync.Pool
+}
+
+type dynShard struct {
+	be *dynShardBackend
+	id int
+	// local queues same-shard messages; it is processed to exhaustion
+	// before the shard returns to its pump.
+	local []dynMsg
+	// out accumulates one outgoing batch per destination shard.
+	out []*dynBatch
+	// tx feeds the shard's elastic pump; rx is what the shard loop reads.
+	tx, rx chan *dynBatch
+	// retired counts handled tokens since the last retire flush.
+	retired int
+	// initial holds the construction-time states owned by this shard.
+	initial []*dynState
+}
+
+type dynBatch struct {
+	msgs []dynMsg
+}
+
+func newDynShardBackend(net *DynamicNetwork, states []*dynState) *dynShardBackend {
+	nsh := net.opts.Shards
+	b := &dynShardBackend{
+		net:  net,
+		part: newPartitioner(net.opts.Partition, len(states), nsh),
+	}
+	b.pool.New = func() any { return &dynBatch{} }
+	b.states.Store(&states)
+	b.shards = make([]*dynShard, nsh)
+	for i := range b.shards {
+		b.shards[i] = &dynShard{
+			be: b,
+			id: i,
+			out: make([]*dynBatch, nsh),
+			tx: make(chan *dynBatch, net.opts.MailboxCap),
+			rx: make(chan *dynBatch),
+		}
+	}
+	for _, st := range states {
+		sh := b.shards[b.shardOf(st.id)]
+		sh.initial = append(sh.initial, st)
+	}
+	return b
+}
+
+// shardOf routes node IDs to shards. IDs added after construction overflow
+// a block partitioner's quota; they clamp onto the last shard.
+func (b *dynShardBackend) shardOf(u graph.NodeID) int {
+	s := b.part.shardOf(u)
+	if s >= len(b.shards) {
+		s = len(b.shards) - 1
+	}
+	return s
+}
+
+func (b *dynShardBackend) start() {
+	for _, sh := range b.shards {
+		b.net.wg.Add(2)
+		go func(sh *dynShard) {
+			defer b.net.wg.Done()
+			mailbox(sh.tx, sh.rx, b.net.stop)
+		}(sh)
+		go sh.loop()
+	}
+}
+
+func (b *dynShardBackend) addNode(st *dynState) {
+	old := *b.states.Load()
+	states := make([]*dynState, len(old)+1)
+	copy(states, old)
+	states[st.id] = st
+	b.states.Store(&states)
+	b.net.mu.Lock()
+	b.net.inflight++ // the new node's start token
+	b.net.mu.Unlock()
+	b.inject(dynMsg{Kind: dynStart, To: st.id})
+}
+
+func (b *dynShardBackend) getBatch() *dynBatch {
+	nb := b.pool.Get().(*dynBatch)
+	nb.msgs = nb.msgs[:0]
+	return nb
+}
+
+func (b *dynShardBackend) inject(m dynMsg) {
+	nb := b.getBatch()
+	nb.msgs = append(nb.msgs, m)
+	sh := b.shards[b.shardOf(m.To)]
+	select {
+	case sh.tx <- nb:
+	case <-b.net.stop:
+	}
+}
+
+func (s *dynShard) loop() {
+	b := s.be
+	defer b.net.wg.Done()
+	for _, st := range s.initial {
+		if st.handle(s, dynMsg{Kind: dynStart, To: st.id}) {
+			s.retired++
+		}
+	}
+	if !s.drain() {
+		return
+	}
+	for {
+		select {
+		case <-b.net.stop:
+			return
+		case nb := <-s.rx:
+			for _, m := range nb.msgs {
+				s.process(m)
+			}
+			b.pool.Put(nb)
+			if !s.drain() {
+				return
+			}
+		}
+	}
+}
+
+// process runs one message on its target state. Appends to s.local during
+// the handler (same-shard transmissions, requeues) are fine: drain
+// iterates by index.
+func (s *dynShard) process(m dynMsg) {
+	sts := *s.be.states.Load()
+	st := sts[m.To]
+	if st.handle(s, m) {
+		s.retired++
+	}
+}
+
+// drain processes the local run-queue to exhaustion, flushes the outboxes
+// and retires the handled tokens. It returns false when the network
+// stopped mid-drain.
+func (s *dynShard) drain() bool {
+	for i := 0; i < len(s.local); i++ {
+		if i%drainStopCheck == drainStopCheck-1 && s.be.net.isStopped() {
+			return false
+		}
+		s.process(s.local[i])
+	}
+	s.local = s.local[:0]
+	for d, nb := range s.out {
+		if nb == nil {
+			continue
+		}
+		s.out[d] = nil
+		select {
+		case s.be.shards[d].tx <- nb:
+		case <-s.be.net.stop:
+			return false
+		}
+	}
+	if s.retired > 0 {
+		s.be.net.retire(s.retired)
+		s.retired = 0
+	}
+	return true
+}
+
+// transmit and requeue implement dynEnv for the shard that is currently
+// running a node. Same-shard traffic goes straight onto the run-queue;
+// cross-shard traffic accumulates into the per-destination batch flushed
+// at the end of the drain.
+func (s *dynShard) transmit(st *dynState, m dynMsg) {
+	s.be.net.fanout(st, m, s.route)
+}
+
+func (s *dynShard) requeue(st *dynState, m dynMsg) {
+	s.local = append(s.local, m)
+}
+
+func (s *dynShard) route(m dynMsg) {
+	d := s.be.shardOf(m.To)
+	if d == s.id {
+		s.local = append(s.local, m)
+		return
+	}
+	nb := s.out[d]
+	if nb == nil {
+		nb = s.be.getBatch()
+		s.out[d] = nb
+	}
+	nb.msgs = append(nb.msgs, m)
+}

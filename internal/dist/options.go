@@ -157,6 +157,73 @@ type Options struct {
 	Adversary *faults.Adversary
 }
 
+// DynOptions tunes a DynamicNetwork. The zero value selects the
+// goroutine-per-node backend with default mailbox capacity and a reliable
+// network, matching the behaviour of NewDynamicNetwork.
+type DynOptions struct {
+	// Engine selects the execution backend; 0 means GoroutinePerNode. Both
+	// backends run identical protocol logic and quiesce on identical final
+	// orientations, so GoroutinePerNode doubles as the cross-check
+	// reference for Sharded.
+	Engine Engine
+	// Shards is the number of shard goroutines used by the Sharded backend;
+	// 0 means GOMAXPROCS. Unlike the static engine it is not clamped to the
+	// node count: the network can grow via AddNode. Ignored by
+	// GoroutinePerNode.
+	Shards int
+	// Partition selects the Sharded backend's node-to-shard assignment;
+	// 0 means PartitionBlock. Nodes added at runtime overflow a block
+	// partitioner's construction-time quota and clamp onto the last shard.
+	Partition Partition
+	// MailboxCap is the buffer size of each mailbox ingress channel
+	// (per node for GoroutinePerNode, per shard for Sharded); 0 means 64.
+	MailboxCap int
+	// Adversary injects seeded faults into the height-announcement plane
+	// (the only message kind whose loss, duplication or delay a real
+	// network could inflict without the control plane noticing); nil means
+	// a reliable network. Announcements are idempotent under the
+	// generation-aware view merge, so duplication and delay are absorbed
+	// structurally, and loss is repaired by sender-side retransmission
+	// under the injector's fair-loss bound.
+	Adversary *faults.Adversary
+}
+
+// withDefaults validates o and fills in the defaults for zero fields.
+func (o DynOptions) withDefaults() (DynOptions, error) {
+	switch o.Engine {
+	case 0:
+		o.Engine = GoroutinePerNode
+	case GoroutinePerNode, Sharded:
+	default:
+		return o, fmt.Errorf("%w: engine %d", ErrBadOption, int(o.Engine))
+	}
+	switch o.Partition {
+	case 0:
+		o.Partition = PartitionBlock
+	case PartitionBlock, PartitionHash:
+	default:
+		return o, fmt.Errorf("%w: partition %d", ErrBadOption, int(o.Partition))
+	}
+	if o.Shards < 0 {
+		return o, fmt.Errorf("%w: %d shards", ErrBadOption, o.Shards)
+	}
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.MailboxCap < 0 {
+		return o, fmt.Errorf("%w: mailbox capacity %d", ErrBadOption, o.MailboxCap)
+	}
+	if o.MailboxCap == 0 {
+		o.MailboxCap = defaultMailboxCap
+	}
+	if o.Adversary != nil {
+		if err := o.Adversary.Validate(); err != nil {
+			return o, fmt.Errorf("%w: %v", ErrBadOption, err)
+		}
+	}
+	return o, nil
+}
+
 // withDefaults validates o and fills in the defaults for zero fields.
 func (o Options) withDefaults() (Options, error) {
 	switch o.Engine {

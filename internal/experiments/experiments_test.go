@@ -271,12 +271,13 @@ func TestE11DistributedChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Rows) != len(small().Sizes) {
-		t.Errorf("rows = %d, want %d", len(tb.Rows), len(small().Sizes))
+	// One row per size × engine (both engines by default).
+	if want := len(small().Sizes) * 2; len(tb.Rows) != want {
+		t.Errorf("rows = %d, want %d", len(tb.Rows), want)
 	}
 	for _, row := range tb.Rows {
 		var perEvent float64
-		if _, err := sscanF(row[3], &perEvent); err != nil {
+		if _, err := sscanF(row[4], &perEvent); err != nil {
 			t.Fatal(err)
 		}
 		if perEvent < 0 {

@@ -69,11 +69,26 @@ type (
 	MutexManager = mutex.Manager
 	// GrantRecord describes one mutual-exclusion token handoff.
 	GrantRecord = mutex.GrantRecord
-	// DynamicNetwork runs the height-based protocol with one goroutine per
-	// node over a topology that changes at runtime.
+	// DynamicNetwork runs the height-based protocol over a topology that
+	// changes at runtime: link and node churn, crash-stop and recovery,
+	// exact partition detection, selectable execution backends.
 	DynamicNetwork = dist.DynamicNetwork
 	// NetworkSnapshot is the quiescent global state of a DynamicNetwork.
 	NetworkSnapshot = dist.Snapshot
+	// DynNetOptions tunes NewDynamicNetworkWith: execution backend (the
+	// goroutine-per-node reference or the sharded worker pool), shard
+	// count and partitioning, and the network adversary aimed at the
+	// height-announcement plane.
+	DynNetOptions = dist.DynOptions
+	// PartitionError is AwaitQuiescence's exact partition report, naming
+	// every live node with no path to the destination. It wraps
+	// ErrPartitioned; recover it with errors.As.
+	PartitionError = dist.PartitionError
+	// DynHeight is the height of a DynamicNetwork node: a TORA-style
+	// reference level followed by a Gafni–Bertsekas pair.
+	DynHeight = dist.DynHeight
+	// RefLevel is the (τ, oid, r) reference-level prefix of a DynHeight.
+	RefLevel = dist.RefLevel
 	// Execution is a recorded sequence of reversal steps, serializable
 	// with EncodeExecution/DecodeExecution and re-runnable with
 	// ReplayExecution.
@@ -141,11 +156,17 @@ func NewMutexManager(topo *Topology) (*MutexManager, error) {
 	return mutex.NewManager(topo)
 }
 
-// NewDynamicNetwork starts the goroutine-per-node protocol over a mutable
-// topology. Call AwaitQuiescence before reading a Snapshot, and Stop when
-// done.
+// NewDynamicNetwork starts the dynamic-topology protocol with default
+// options (goroutine-per-node backend, reliable network). Call
+// AwaitQuiescence before reading a Snapshot, and Stop when done.
 func NewDynamicNetwork(topo *Topology) (*DynamicNetwork, error) {
 	return dist.NewDynamicNetwork(topo)
+}
+
+// NewDynamicNetworkWith starts the dynamic-topology protocol with explicit
+// backend and fault options (see DynNetOptions).
+func NewDynamicNetworkWith(topo *Topology, opts DynNetOptions) (*DynamicNetwork, error) {
+	return dist.NewDynamicNetworkWith(topo, opts)
 }
 
 // ExportDOT renders an orientation in Graphviz DOT format, highlighting the
@@ -234,10 +255,17 @@ var (
 	ErrUnknownAlgorithm = errors.New("linkreversal: unknown algorithm")
 	// ErrUnknownScheduler is returned for an unrecognized Scheduler value.
 	ErrUnknownScheduler = errors.New("linkreversal: unknown scheduler")
-	// ErrSuspectedPartition is returned by DynamicNetwork.AwaitQuiescence
-	// when a region's heights climbed past the ceiling, the signature of a
-	// component cut off from the destination.
-	ErrSuspectedPartition = dist.ErrHeightCeiling
+	// ErrPartitioned is the sentinel wrapped by every *PartitionError that
+	// DynamicNetwork.AwaitQuiescence returns when live nodes have no path
+	// to the destination.
+	ErrPartitioned = dist.ErrPartitioned
+	// ErrSuspectedPartition is the former name of ErrPartitioned, kept so
+	// existing errors.Is checks keep matching.
+	//
+	// Deprecated: partition detection is exact now, not a height-ceiling
+	// heuristic; AwaitQuiescence names the cut component in a
+	// *PartitionError. Use ErrPartitioned.
+	ErrSuspectedPartition = dist.ErrPartitioned
 	// ErrBadDistOptions is returned by RunDistributedWith for out-of-range
 	// DistOptions values (negative shard counts, mailbox capacities, …).
 	ErrBadDistOptions = dist.ErrBadOption
