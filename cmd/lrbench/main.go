@@ -4,14 +4,16 @@
 // Usage:
 //
 //	lrbench [-quick] [-csv|-json] [-only E4] [-engine sharded]
+//	        [-partition block|hash|locality]
 //	        [-faults lossy|flaky|adversarial] [-seed 7]
 //
 // With -json the selected experiments are emitted as one JSON array of
 // {title, columns, rows, scenario, seed} table objects — the
 // machine-readable format CI archives (BENCH_dist.json) to track the
 // performance trajectory across commits. Every table is stamped with the
-// fault scenario and seed it ran under, so any benchmark or adversarial
-// row is reproducible from its JSON artifact alone.
+// fault scenario, the non-default -partition scheme and the seed it ran
+// under, so any benchmark or adversarial row is reproducible from its
+// JSON artifact alone.
 //
 // With -faults the distributed experiments (E7 async rows, E8) run under
 // the selected seeded network adversary: messages are dropped, duplicated
@@ -46,6 +48,7 @@ func run(args []string) error {
 		jsonOut  = fs.Bool("json", false, "emit one JSON array of table objects")
 		only     = fs.String("only", "", "run a single experiment (E1..E8)")
 		engine   = fs.String("engine", "both", "dist execution engine for E8: goroutine, sharded or both")
+		part     = fs.String("partition", "block", "sharded node-to-shard assignment for E8: block, hash or locality")
 		faultsIn = fs.String("faults", "off", "network adversary for the distributed experiments: off, lossy, flaky or adversarial")
 		seed     = fs.Int64("seed", 0, "seed of the fault adversary (every adversarial row replays from it)")
 	)
@@ -74,6 +77,16 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown -engine %q (want goroutine, sharded or both)", *engine)
 	}
+	switch *part {
+	case "block":
+		suite.Partition = dist.PartitionBlock
+	case "hash":
+		suite.Partition = dist.PartitionHash
+	case "locality":
+		suite.Partition = dist.PartitionLocality
+	default:
+		return fmt.Errorf("unknown -partition %q (want block, hash or locality)", *part)
+	}
 	scenario := "reliable"
 	switch *faultsIn {
 	case "off":
@@ -88,6 +101,11 @@ func run(args []string) error {
 	}
 	if suite.Faults != nil {
 		scenario = suite.Faults.Scenario
+	}
+	if *part != "block" {
+		// Stamp non-default shard assignments into the provenance line so a
+		// JSON artifact alone reproduces its -partition invocation.
+		scenario += "/partition=" + *part
 	}
 	type exp struct {
 		id  string

@@ -206,6 +206,18 @@ type Stats struct {
 	// Acks is the number of acknowledgements sent by the reliable-delivery
 	// layer; 0 unless an adversary armed it.
 	Acks int
+	// Remote is the number of transmissions that crossed a shard boundary
+	// under the Sharded engine, counted before outbox coalescing — the
+	// partition-quality metric a topology-aware Options.Partition is meant
+	// to shrink. 0 under GoroutinePerNode, which has no shard boundary.
+	Remote int
+	// Coalesced is the number of byte-identical transmissions the sharded
+	// outbox folded into an already-pending entry instead of shipping
+	// (Options.Coalesce); the receiver re-expands them, so every
+	// protocol-visible count (acks, dedups, retransmits) is unaffected. 0
+	// on a reliable network, where same-link repeats cannot occur within a
+	// flush window.
+	Coalesced int
 }
 
 // Result is the outcome of a quiesced Run.

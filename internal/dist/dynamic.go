@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"linkreversal/internal/bitset"
 	"linkreversal/internal/core"
 	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
@@ -69,21 +70,25 @@ type DynamicNetwork struct {
 	// nodes whose reference level came back reflected (the TORA partition
 	// signal); cut marks nodes named by the last PartitionError, pending
 	// erasure at heal. dead marks removed nodes, crashedCtl the control
-	// plane's crash ledger.
-	suspended      []bool
+	// plane's crash ledger. The marks are packed bitsets — one bit per node
+	// instead of one byte, with NextSet iteration skipping empty words, so
+	// poke sweeps over a million idle nodes touch kilowords, not megabytes.
+	// All are read and written only under mu.
+	suspended      *bitset.Set
 	suspendedCount int
-	detected       []bool
+	detected       *bitset.Set
 	detectedCount  int
-	cut            []bool
+	cut            *bitset.Set
 	cutCount       int
-	dead           []bool
+	dead           *bitset.Set
 	crashedCtl     []bool
 	everCrashed    bool
 
 	// reach, inR and depth are BFS scratch reused across AwaitQuiescence
-	// calls, so validation allocates nothing.
-	reach []bool
-	inR   []bool
+	// calls, so validation allocates nothing; reach and inR are packed so
+	// the per-call reset is a word-at-a-time clear.
+	reach *bitset.Set
+	inR   *bitset.Set
 	depth []int
 	queue []graph.NodeID
 
@@ -138,13 +143,13 @@ func NewDynamicNetworkWith(topo *workload.Topology, opts DynOptions) (*DynamicNe
 		degree:     make([]int, n),
 		heights:    make([]DynHeight, n),
 		gens:       make([]uint32, n),
-		suspended:  make([]bool, n),
-		detected:   make([]bool, n),
-		cut:        make([]bool, n),
-		dead:       make([]bool, n),
+		suspended:  bitset.NewSet(n),
+		detected:   bitset.NewSet(n),
+		cut:        bitset.NewSet(n),
+		dead:       bitset.NewSet(n),
 		crashedCtl: make([]bool, n),
-		reach:      make([]bool, n),
-		inR:        make([]bool, n),
+		reach:      bitset.NewSet(n),
+		inR:        bitset.NewSet(n),
 		depth:      make([]int, n),
 		inflight:   n, // one start token per node
 		slack:      8*n + 64,
@@ -282,7 +287,7 @@ func (d *DynamicNetwork) validNode(u graph.NodeID) error {
 	if int(u) < 0 || int(u) >= d.n {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, u)
 	}
-	if d.dead[u] {
+	if d.dead.Test(int(u)) {
 		return fmt.Errorf("%w: node %d was removed", ErrUnknownNode, u)
 	}
 	return nil
@@ -304,7 +309,7 @@ func (d *DynamicNetwork) validLinkLocked(u, v graph.NodeID) error {
 // degIncLocked and degDecLocked maintain the incremental degree counts and
 // the zero-degree tally behind the allocation-free quiescence check.
 func (d *DynamicNetwork) degIncLocked(u graph.NodeID) {
-	if d.degree[u] == 0 && u != d.dest && !d.dead[u] {
+	if d.degree[u] == 0 && u != d.dest && !d.dead.Test(int(u)) {
 		d.zeroDeg--
 	}
 	d.degree[u]++
@@ -312,7 +317,7 @@ func (d *DynamicNetwork) degIncLocked(u graph.NodeID) {
 
 func (d *DynamicNetwork) degDecLocked(u graph.NodeID) {
 	d.degree[u]--
-	if d.degree[u] == 0 && u != d.dest && !d.dead[u] {
+	if d.degree[u] == 0 && u != d.dest && !d.dead.Test(int(u)) {
 		d.zeroDeg++
 	}
 }
@@ -367,10 +372,8 @@ func (d *DynamicNetwork) AddLink(u, v graph.NodeID) error {
 	}
 	var pokes []graph.NodeID
 	if d.suspendedCount > 0 {
-		for id, s := range d.suspended {
-			if s {
-				pokes = append(pokes, graph.NodeID(id))
-			}
+		for id := d.suspended.NextSet(0); id >= 0; id = d.suspended.NextSet(id + 1) {
+			pokes = append(pokes, graph.NodeID(id))
 		}
 	}
 	d.inflight += len(erase) + 2 + len(pokes)
@@ -436,13 +439,13 @@ func (d *DynamicNetwork) AddNode() (graph.NodeID, error) {
 	d.gens = append(d.gens, 0)
 	d.degree = append(d.degree, 0)
 	d.zeroDeg++
-	d.suspended = append(d.suspended, false)
-	d.detected = append(d.detected, false)
-	d.cut = append(d.cut, false)
-	d.dead = append(d.dead, false)
+	d.suspended.Grow(d.n)
+	d.detected.Grow(d.n)
+	d.cut.Grow(d.n)
+	d.dead.Grow(d.n)
 	d.crashedCtl = append(d.crashedCtl, false)
-	d.reach = append(d.reach, false)
-	d.inR = append(d.inR, false)
+	d.reach.Grow(d.n)
+	d.inR.Grow(d.n)
 	d.depth = append(d.depth, 0)
 	d.adjCache = append(d.adjCache, nil)
 	st := &dynState{net: d, id: id, h: d.heights[id]}
@@ -481,18 +484,18 @@ func (d *DynamicNetwork) RemoveNode(u graph.NodeID) error {
 	if d.degree[u] == 0 {
 		d.zeroDeg--
 	}
-	d.dead[u] = true
+	d.dead.Set(int(u))
 	d.crashedCtl[u] = false
-	if d.cut[u] {
-		d.cut[u] = false
+	if d.cut.Test(int(u)) {
+		d.cut.Clear(int(u))
 		d.cutCount--
 	}
-	if d.detected[u] {
-		d.detected[u] = false
+	if d.detected.Test(int(u)) {
+		d.detected.Clear(int(u))
 		d.detectedCount--
 	}
-	if d.suspended[u] {
-		d.suspended[u] = false
+	if d.suspended.Test(int(u)) {
+		d.suspended.Clear(int(u))
 		d.suspendedCount--
 	}
 	d.adjDirty = true
@@ -570,16 +573,14 @@ func (d *DynamicNetwork) Recover(u graph.NodeID) error {
 // and are never visited; crashed nodes count as connectors.
 func (d *DynamicNetwork) computeReachLocked() {
 	d.rebuildAdjLocked()
-	for i := range d.reach {
-		d.reach[i] = false
-	}
+	d.reach.ClearAll()
 	q := d.queue[:0]
-	d.reach[d.dest] = true
+	d.reach.Set(int(d.dest))
 	q = append(q, d.dest)
 	for h := 0; h < len(q); h++ {
 		for _, v := range d.adjCache[q[h]] {
-			if !d.reach[v] {
-				d.reach[v] = true
+			if !d.reach.Test(int(v)) {
+				d.reach.Set(int(v))
 				q = append(q, v)
 			}
 		}
@@ -594,16 +595,14 @@ func (d *DynamicNetwork) cutLocked() []graph.NodeID {
 	d.computeReachLocked()
 	var cut []graph.NodeID
 	for u := 0; u < d.n; u++ {
-		if !d.dead[u] && !d.reach[u] {
+		if !d.dead.Test(u) && !d.reach.Test(u) {
 			cut = append(cut, graph.NodeID(u))
 		}
 	}
 	if len(cut) > 0 {
-		for u := range d.cut {
-			d.cut[u] = false
-		}
+		d.cut.ClearAll()
 		for _, u := range cut {
-			d.cut[u] = true
+			d.cut.Set(int(u))
 		}
 		d.cutCount = len(cut)
 	}
@@ -626,12 +625,18 @@ func (d *DynamicNetwork) cutLocked() []graph.NodeID {
 // and ensure the network is quiescent (inflight == 0).
 func (d *DynamicNetwork) eraseLocked() []dynMsg {
 	d.computeReachLocked()
+	// The region is the union of the mark sets restricted to live, reachable
+	// nodes — assembled by iterating the (sparse) marks, not by scanning all
+	// n nodes.
+	d.inR.ClearAll()
 	members := 0
-	for u := 0; u < d.n; u++ {
-		d.inR[u] = !d.dead[u] && d.reach[u] && (d.cut[u] || d.detected[u] || d.suspended[u])
-		if d.inR[u] {
-			members++
-			d.depth[u] = -1
+	for _, marks := range []*bitset.Set{d.cut, d.detected, d.suspended} {
+		for u := marks.NextSet(0); u >= 0; u = marks.NextSet(u + 1) {
+			if !d.inR.Test(u) && !d.dead.Test(u) && d.reach.Test(u) {
+				d.inR.Set(u)
+				members++
+				d.depth[u] = -1
+			}
 		}
 	}
 	if members == 0 {
@@ -639,12 +644,9 @@ func (d *DynamicNetwork) eraseLocked() []dynMsg {
 	}
 	// Layer assignment: multi-source BFS from the region's frontier.
 	q := d.queue[:0]
-	for u := 0; u < d.n; u++ {
-		if !d.inR[u] {
-			continue
-		}
+	for u := d.inR.NextSet(0); u >= 0; u = d.inR.NextSet(u + 1) {
 		for _, v := range d.adjCache[u] {
-			if !d.inR[v] && !d.dead[v] {
+			if !d.inR.Test(int(v)) && !d.dead.Test(int(v)) {
 				d.depth[u] = 0
 				q = append(q, graph.NodeID(u))
 				break
@@ -654,7 +656,7 @@ func (d *DynamicNetwork) eraseLocked() []dynMsg {
 	for h := 0; h < len(q); h++ {
 		u := q[h]
 		for _, v := range d.adjCache[u] {
-			if d.inR[v] && d.depth[v] == -1 {
+			if d.inR.Test(int(v)) && d.depth[v] == -1 {
 				d.depth[v] = d.depth[u] + 1
 				q = append(q, v)
 			}
@@ -662,10 +664,7 @@ func (d *DynamicNetwork) eraseLocked() []dynMsg {
 	}
 	d.queue = q[:0]
 	// Adopt the erased heights in the mirrors and clear the marks.
-	for u := 0; u < d.n; u++ {
-		if !d.inR[u] {
-			continue
-		}
+	for u := d.inR.NextSet(0); u >= 0; u = d.inR.NextSet(u + 1) {
 		layer := d.depth[u]
 		if layer < 0 {
 			// Unreachable within the region (cannot happen: every marked
@@ -675,16 +674,16 @@ func (d *DynamicNetwork) eraseLocked() []dynMsg {
 		}
 		d.gens[u]++
 		d.heights[u] = DynHeight{H: core.Height{A: 0, B: layer, ID: graph.NodeID(u)}}
-		if d.cut[u] {
-			d.cut[u] = false
+		if d.cut.Test(u) {
+			d.cut.Clear(u)
 			d.cutCount--
 		}
-		if d.detected[u] {
-			d.detected[u] = false
+		if d.detected.Test(u) {
+			d.detected.Clear(u)
 			d.detectedCount--
 		}
-		if d.suspended[u] {
-			d.suspended[u] = false
+		if d.suspended.Test(u) {
+			d.suspended.Clear(u)
 			d.suspendedCount--
 		}
 	}
@@ -692,12 +691,9 @@ func (d *DynamicNetwork) eraseLocked() []dynMsg {
 	// outside neighbour, its view of the lowered node is already current
 	// (per-receiver FIFO delivers the earlier-enqueued correction first).
 	var msgs []dynMsg
-	for u := 0; u < d.n; u++ {
-		if !d.inR[u] {
-			continue
-		}
+	for u := d.inR.NextSet(0); u >= 0; u = d.inR.NextSet(u + 1) {
 		for _, v := range d.adjCache[u] {
-			if !d.inR[v] && !d.dead[v] {
+			if !d.inR.Test(int(v)) && !d.dead.Test(int(v)) {
 				msgs = append(msgs, dynMsg{
 					Kind: dynHeight, To: v, Peer: graph.NodeID(u),
 					H: d.heights[u], Gen: d.gens[u],
@@ -705,10 +701,7 @@ func (d *DynamicNetwork) eraseLocked() []dynMsg {
 			}
 		}
 	}
-	for u := 0; u < d.n; u++ {
-		if !d.inR[u] {
-			continue
-		}
+	for u := d.inR.NextSet(0); u >= 0; u = d.inR.NextSet(u + 1) {
 		views := make([]nbrView, 0, len(d.adjCache[u]))
 		for _, v := range d.adjCache[u] {
 			views = append(views, nbrView{id: v, h: d.heights[v], gen: d.gens[v], known: true})
@@ -778,15 +771,13 @@ func (d *DynamicNetwork) AwaitQuiescence() error {
 			// nodes.
 			d.raiseCeilingLocked()
 			pokes := 0
-			for id, s := range d.suspended {
-				if s {
-					pokes++
-					d.inflight++
-					id := graph.NodeID(id)
-					d.mu.Unlock()
-					d.inject(dynMsg{Kind: dynPoke, To: id})
-					d.mu.Lock()
-				}
+			for id := d.suspended.NextSet(0); id >= 0; id = d.suspended.NextSet(id + 1) {
+				pokes++
+				d.inflight++
+				id := graph.NodeID(id)
+				d.mu.Unlock()
+				d.inject(dynMsg{Kind: dynPoke, To: id})
+				d.mu.Lock()
 			}
 			if pokes > 0 {
 				continue
@@ -854,7 +845,9 @@ func (d *DynamicNetwork) Snapshot() *Snapshot {
 		dead:           make([]bool, d.n),
 	}
 	copy(s.Heights, d.heights)
-	copy(s.dead, d.dead)
+	for u := d.dead.NextSet(0); u >= 0; u = d.dead.NextSet(u + 1) {
+		s.dead[u] = true
+	}
 	if d.inj != nil {
 		fs := d.inj.Snapshot()
 		s.Drops, s.Dups, s.Held = fs.Drops, fs.Dups, fs.Held

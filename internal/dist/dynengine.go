@@ -144,9 +144,13 @@ type dynBatch struct {
 
 func newDynShardBackend(net *DynamicNetwork, states []*dynState) *dynShardBackend {
 	nsh := net.opts.Shards
+	// adjCache is rebuilt before backend construction, so the locality
+	// partitioner can grow shards over the initial topology. Links added
+	// later do not re-partition — assignments are fixed at construction.
 	b := &dynShardBackend{
-		net:  net,
-		part: newPartitioner(net.opts.Partition, len(states), nsh),
+		net: net,
+		part: newPartitioner(net.opts.Partition, len(states), nsh,
+			func(u graph.NodeID) []graph.NodeID { return net.adjCache[u] }),
 	}
 	b.pool.New = func() any { return &dynBatch{} }
 	b.states.Store(&states)

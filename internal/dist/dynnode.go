@@ -100,8 +100,8 @@ func (st *dynState) unpark() {
 	st.parked = false
 	net := st.net
 	net.mu.Lock()
-	if net.suspended[st.id] {
-		net.suspended[st.id] = false
+	if net.suspended.Test(int(st.id)) {
+		net.suspended.Clear(int(st.id))
 		net.suspendedCount--
 	}
 	net.mu.Unlock()
@@ -124,8 +124,8 @@ func (st *dynState) commit(env dynEnv, newH DynHeight) bool {
 	}
 	net.mu.Lock()
 	if newH.H.A > net.ceiling || -newH.H.B > net.ceilingB {
-		if !net.suspended[st.id] {
-			net.suspended[st.id] = true
+		if !net.suspended.Test(int(st.id)) {
+			net.suspended.Set(int(st.id))
 			net.suspendedCount++
 		}
 		net.mu.Unlock()
@@ -140,8 +140,8 @@ func (st *dynState) commit(env dynEnv, newH DynHeight) bool {
 	if newH.H.B < net.minB {
 		net.minB = newH.H.B
 	}
-	if net.suspended[st.id] {
-		net.suspended[st.id] = false
+	if net.suspended.Test(int(st.id)) {
+		net.suspended.Clear(int(st.id))
 		net.suspendedCount--
 	}
 	net.stats.Steps++
@@ -226,8 +226,8 @@ func (st *dynState) act(env dynEnv) {
 			// a control-plane reset revives the component.
 			st.detected = true
 			net.mu.Lock()
-			if !net.detected[st.id] {
-				net.detected[st.id] = true
+			if !net.detected.Test(int(st.id)) {
+				net.detected.Set(int(st.id))
 				net.detectedCount++
 			}
 			net.mu.Unlock()

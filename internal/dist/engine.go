@@ -53,6 +53,13 @@ type runCore struct {
 	batches     atomic.Int64
 	acks        atomic.Int64
 	retransmits atomic.Int64
+	// remote and coalesced are the sharded engine's transport counters:
+	// cross-shard transmissions (counted before coalescing) and squashed
+	// duplicate copies. Shards accumulate them locally and fold them in at
+	// flush time, so neither costs a per-message atomic. Both stay zero
+	// under the goroutine-per-node engine, which has no shard boundary.
+	remote    atomic.Int64
+	coalesced atomic.Int64
 
 	stepLimit   int64
 	recordTrace bool
@@ -185,6 +192,8 @@ func (c *runCore) snapshot() Stats {
 		TotalReversals: int(c.reversals.Load()),
 		Acks:           int(c.acks.Load()),
 		Retransmits:    int(c.retransmits.Load()),
+		Remote:         int(c.remote.Load()),
+		Coalesced:      int(c.coalesced.Load()),
 	}
 	if c.inj != nil {
 		fs := c.inj.Snapshot()

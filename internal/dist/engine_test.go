@@ -19,13 +19,15 @@ import (
 // LR_DIST_ENGINE environment variable (the CI test matrix). The sharded
 // configuration pins three shards so cross-shard batching is exercised even
 // on a single-CPU machine, where the GOMAXPROCS default would collapse to
-// one shard. Every returned configuration additionally carries the network
-// adversary selected by LR_DIST_FAULTS (see testAdversary), so the CI
-// fault matrix reruns the whole suite under loss, duplication and delay.
+// one shard, and carries the partition scheme selected by LR_DIST_PARTITION
+// (see testPartition). Every returned configuration additionally carries
+// the network adversary selected by LR_DIST_FAULTS (see testAdversary), so
+// the CI fault matrix reruns the whole suite under loss, duplication and
+// delay.
 func testEngines(t testing.TB) []Options {
 	adv := testAdversary(t)
 	gpn := Options{Engine: GoroutinePerNode, Adversary: adv}
-	sharded := Options{Engine: Sharded, Shards: 3, Adversary: adv}
+	sharded := Options{Engine: Sharded, Shards: 3, Partition: testPartition(t), Adversary: adv}
 	switch v := os.Getenv("LR_DIST_ENGINE"); v {
 	case "", "both":
 		return []Options{gpn, sharded}
@@ -36,6 +38,25 @@ func testEngines(t testing.TB) []Options {
 	default:
 		t.Fatalf("unknown LR_DIST_ENGINE %q (want goroutine, sharded or both)", v)
 		return nil
+	}
+}
+
+// testPartition returns the sharded partition scheme selected by the
+// LR_DIST_PARTITION environment variable (the CI partition matrix); the
+// zero value (PartitionBlock after defaulting) when unset.
+func testPartition(t testing.TB) Partition {
+	switch v := os.Getenv("LR_DIST_PARTITION"); v {
+	case "":
+		return 0
+	case "block":
+		return PartitionBlock
+	case "hash":
+		return PartitionHash
+	case "locality":
+		return PartitionLocality
+	default:
+		t.Fatalf("unknown LR_DIST_PARTITION %q (want block, hash or locality)", v)
+		return 0
 	}
 }
 
@@ -69,6 +90,7 @@ func TestOptionsValidation(t *testing.T) {
 	bad := []Options{
 		{Engine: Engine(42)},
 		{Partition: Partition(42)},
+		{Coalesce: Coalescing(42)},
 		{Shards: -1},
 		{MailboxCap: -3},
 		{StepLimitSlack: -1},
@@ -83,6 +105,9 @@ func TestOptionsValidation(t *testing.T) {
 		{},
 		{Engine: Sharded},
 		{Engine: Sharded, Shards: 64, Partition: PartitionHash}, // shards > nodes: clamped
+		{Engine: Sharded, Shards: 2, Partition: PartitionLocality},
+		{Engine: Sharded, Coalesce: CoalesceOff},
+		{Coalesce: CoalesceOn}, // accepted (and ignored) by the goroutine engine
 		{MailboxCap: 1, StepLimitSlack: 1000},
 		{Engine: Sharded, Shards: 2, MailboxCap: 1},
 		{RecordTrace: TraceOff},
@@ -100,19 +125,34 @@ func TestOptionsValidation(t *testing.T) {
 	}
 }
 
-// TestPartitioner checks both schemes: assignments are deterministic, land
-// in [0, shards), cover every node exactly once (trivially, being a
+// chainNbrs is an ascending chain adjacency 0–1–2–…–(n-1) for partitioner
+// tests that need a graph without building a workload topology.
+func chainNbrs(n int) func(graph.NodeID) []graph.NodeID {
+	return func(u graph.NodeID) []graph.NodeID {
+		nbrs := make([]graph.NodeID, 0, 2)
+		if u > 0 {
+			nbrs = append(nbrs, u-1)
+		}
+		if int(u) < n-1 {
+			nbrs = append(nbrs, u+1)
+		}
+		return nbrs
+	}
+}
+
+// TestPartitioner checks all three schemes: assignments are deterministic,
+// land in [0, shards), cover every node exactly once (trivially, being a
 // function), and respect each scheme's balance guarantee.
 func TestPartitioner(t *testing.T) {
-	for _, scheme := range []Partition{PartitionBlock, PartitionHash} {
+	for _, scheme := range []Partition{PartitionBlock, PartitionHash, PartitionLocality} {
 		for _, n := range []int{1, 5, 64, 1000} {
 			for _, shards := range []int{1, 2, 3, 7, 16} {
 				if shards > n {
 					continue // RunWith clamps shards to the node count
 				}
 				name := fmt.Sprintf("%v/n=%d/shards=%d", scheme, n, shards)
-				p := newPartitioner(scheme, n, shards)
-				q := newPartitioner(scheme, n, shards)
+				p := newPartitioner(scheme, n, shards, chainNbrs(n))
+				q := newPartitioner(scheme, n, shards, chainNbrs(n))
 				sizes := make([]int, shards)
 				for u := 0; u < n; u++ {
 					s := p.shardOf(graph.NodeID(u))
@@ -147,8 +187,71 @@ func TestPartitioner(t *testing.T) {
 	}
 }
 
+// TestLocalityPartitioner pins PartitionLocality's specific behaviour: the
+// documented block fallback when no graph is available, full coverage of
+// disconnected topologies, and the property the scheme exists for — on a
+// topology whose node IDs carry no locality (an ID-permuted chain), the BFS
+// regions cut far fewer edges than block's ID ranges.
+func TestLocalityPartitioner(t *testing.T) {
+	const n, shards = 240, 6
+	fallback := newPartitioner(PartitionLocality, n, shards, nil)
+	block := newPartitioner(PartitionBlock, n, shards, nil)
+	for u := 0; u < n; u++ {
+		if fallback.shardOf(graph.NodeID(u)) != block.shardOf(graph.NodeID(u)) {
+			t.Fatalf("locality without a graph should fall back to block; differs at node %d", u)
+		}
+	}
+
+	// A chain whose IDs are scrambled by a multiplicative permutation:
+	// position i holds node perm[i] = 37·i mod n (37 coprime to 240), so ID
+	// adjacency says nothing about topology adjacency.
+	perm := make([]graph.NodeID, n)
+	adj := make([][]graph.NodeID, n)
+	for i := range perm {
+		perm[i] = graph.NodeID(37 * i % n)
+	}
+	for i := 1; i < n; i++ {
+		u, v := perm[i-1], perm[i]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	nbrs := func(u graph.NodeID) []graph.NodeID { return adj[u] }
+	cut := func(p partitioner) int {
+		c := 0
+		for i := 1; i < n; i++ {
+			if p.shardOf(perm[i-1]) != p.shardOf(perm[i]) {
+				c++
+			}
+		}
+		return c
+	}
+	loc := newPartitioner(PartitionLocality, n, shards, nbrs)
+	if lc, bc := cut(loc), cut(block); lc >= bc/4 {
+		t.Errorf("locality cuts %d of %d chain edges, block cuts %d; want locality < block/4", lc, n-1, bc)
+	}
+
+	// Two disconnected chains: the seed rescan must still assign every node.
+	half := n / 2
+	disc := func(u graph.NodeID) []graph.NodeID {
+		var out []graph.NodeID
+		if u != 0 && int(u) != half {
+			out = append(out, u-1)
+		}
+		if int(u) != half-1 && int(u) != n-1 {
+			out = append(out, u+1)
+		}
+		return out
+	}
+	p := newPartitioner(PartitionLocality, n, shards, disc)
+	for u := 0; u < n; u++ {
+		if s := p.shardOf(graph.NodeID(u)); s < 0 || s >= shards {
+			t.Fatalf("disconnected topology: node %d assigned to shard %d out of range", u, s)
+		}
+	}
+}
+
 // TestEnginesAgreeOnFinal runs both engines — the sharded one across shard
-// counts and both partition schemes — on the same inputs and requires
+// counts and all partition schemes — on the same inputs and requires
 // identical final orientations. Link reversal is confluent: enabled sinks
 // are never adjacent, so their steps commute, and the final orientation is
 // a function of the input alone. Any divergence is an engine bug.
@@ -157,6 +260,7 @@ func TestEnginesAgreeOnFinal(t *testing.T) {
 		{Engine: Sharded, Shards: 1},
 		{Engine: Sharded, Shards: 2},
 		{Engine: Sharded, Shards: 5, Partition: PartitionHash},
+		{Engine: Sharded, Shards: 3, Partition: PartitionLocality},
 		{Engine: Sharded}, // GOMAXPROCS shards
 	}
 	for _, topo := range []*workload.Topology{
@@ -266,11 +370,17 @@ func TestEngineStrings(t *testing.T) {
 	if Engine(42).String() != "Engine(42)" {
 		t.Errorf("unknown engine string = %q", Engine(42).String())
 	}
-	if PartitionBlock.String() != "block" || PartitionHash.String() != "hash" {
+	if PartitionBlock.String() != "block" || PartitionHash.String() != "hash" || PartitionLocality.String() != "locality" {
 		t.Error("partition strings wrong")
 	}
 	if Partition(42).String() != "Partition(42)" {
 		t.Errorf("unknown partition string = %q", Partition(42).String())
+	}
+	if CoalesceOn.String() != "coalesce-on" || CoalesceOff.String() != "coalesce-off" {
+		t.Error("coalescing strings wrong")
+	}
+	if Coalescing(42).String() != "Coalescing(42)" {
+		t.Errorf("unknown coalescing string = %q", Coalescing(42).String())
 	}
 	if TraceRecorded.String() != "trace-recorded" || TraceOff.String() != "trace-off" {
 		t.Error("trace strings wrong")

@@ -45,7 +45,7 @@ func (e Engine) String() string {
 	}
 }
 
-// Partition selects how the Sharded engine assigns nodes to shards. Both
+// Partition selects how the Sharded engine assigns nodes to shards. All
 // schemes are deterministic and assign every node to exactly one shard.
 type Partition int
 
@@ -58,8 +58,16 @@ const (
 	PartitionBlock Partition = iota + 1
 	// PartitionHash assigns node u to shard u mod shards. It spreads any
 	// ID layout evenly across shards at the cost of locality; use it when
-	// node IDs carry no topological meaning.
+	// load balance matters more than cross-shard traffic.
 	PartitionHash
+	// PartitionLocality grows each shard as a breadth-first region of the
+	// topology (deterministic BFS greedy growth, quota ⌈n/shards⌉ like
+	// block), so neighbourhoods stay shard-local even when node IDs carry
+	// no topological meaning — the case where block partitioning cuts
+	// nearly every edge. Falls back to PartitionBlock when no graph is
+	// available to grow from. Stats.Remote reports the cross-shard traffic
+	// each scheme actually produced.
+	PartitionLocality
 )
 
 // String implements fmt.Stringer.
@@ -69,8 +77,43 @@ func (p Partition) String() string {
 		return "block"
 	case PartitionHash:
 		return "hash"
+	case PartitionLocality:
+		return "locality"
 	default:
 		return fmt.Sprintf("Partition(%d)", int(p))
+	}
+}
+
+// Coalescing selects whether the Sharded engine folds byte-identical
+// same-link transmissions pending in one outbox flush window into a single
+// shipped message.
+type Coalescing int
+
+const (
+	// CoalesceOn (the default) ships one message per distinct transmission
+	// per flush window, carrying a copy count the receiving shard expands
+	// before delivery — so the fault adversary's duplicate copies cost one
+	// transport slot instead of many, while the seq/ack ledger (every
+	// dedup, re-ack and retransmission decision) stays byte-identical to
+	// unconsolidated shipping. On a reliable network repeats cannot occur
+	// within a window, so coalescing is armed only under an adversary and
+	// the fault-free hot path is untouched.
+	CoalesceOn Coalescing = iota + 1
+	// CoalesceOff ships every transmission individually. The final
+	// orientation, trace and fault ledger are identical to CoalesceOn (the
+	// confluence the test suite pins); only transport volume differs.
+	CoalesceOff
+)
+
+// String implements fmt.Stringer.
+func (c Coalescing) String() string {
+	switch c {
+	case CoalesceOn:
+		return "coalesce-on"
+	case CoalesceOff:
+		return "coalesce-off"
+	default:
+		return fmt.Sprintf("Coalescing(%d)", int(c))
 	}
 }
 
@@ -134,6 +177,12 @@ type Options struct {
 	// Partition selects the Sharded engine's node-to-shard assignment;
 	// 0 means PartitionBlock. Ignored by GoroutinePerNode.
 	Partition Partition
+	// Coalesce selects whether the Sharded engine's outboxes fold
+	// byte-identical transmissions of one flush window into a single
+	// shipped message; 0 means CoalesceOn. Only observable through
+	// Stats.Coalesced and transport volume — orientations, traces and the
+	// fault ledger are identical either way. Ignored by GoroutinePerNode.
+	Coalesce Coalescing
 	// MailboxCap is the buffer size of each mailbox ingress channel
 	// (per node for GoroutinePerNode, per shard for Sharded); 0 means 64.
 	MailboxCap int
@@ -172,8 +221,10 @@ type DynOptions struct {
 	// GoroutinePerNode.
 	Shards int
 	// Partition selects the Sharded backend's node-to-shard assignment;
-	// 0 means PartitionBlock. Nodes added at runtime overflow a block
-	// partitioner's construction-time quota and clamp onto the last shard.
+	// 0 means PartitionBlock. PartitionLocality grows its regions over the
+	// construction-time topology only — later link churn does not
+	// re-partition. Nodes added at runtime overflow any scheme's
+	// construction-time assignment and clamp onto the last shard.
 	Partition Partition
 	// MailboxCap is the buffer size of each mailbox ingress channel
 	// (per node for GoroutinePerNode, per shard for Sharded); 0 means 64.
@@ -200,7 +251,7 @@ func (o DynOptions) withDefaults() (DynOptions, error) {
 	switch o.Partition {
 	case 0:
 		o.Partition = PartitionBlock
-	case PartitionBlock, PartitionHash:
+	case PartitionBlock, PartitionHash, PartitionLocality:
 	default:
 		return o, fmt.Errorf("%w: partition %d", ErrBadOption, int(o.Partition))
 	}
@@ -236,9 +287,16 @@ func (o Options) withDefaults() (Options, error) {
 	switch o.Partition {
 	case 0:
 		o.Partition = PartitionBlock
-	case PartitionBlock, PartitionHash:
+	case PartitionBlock, PartitionHash, PartitionLocality:
 	default:
 		return o, fmt.Errorf("%w: partition %d", ErrBadOption, int(o.Partition))
+	}
+	switch o.Coalesce {
+	case 0:
+		o.Coalesce = CoalesceOn
+	case CoalesceOn, CoalesceOff:
+	default:
+		return o, fmt.Errorf("%w: coalescing mode %d", ErrBadOption, int(o.Coalesce))
 	}
 	if o.Shards < 0 {
 		return o, fmt.Errorf("%w: %d shards", ErrBadOption, o.Shards)

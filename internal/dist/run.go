@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"linkreversal/internal/bitset"
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
 )
@@ -54,11 +55,16 @@ type reverseMsg struct {
 }
 
 // runNode is the per-node protocol state, shared by every engine. All views
-// are flat slices parallel to nbrs (slot-indexed, no maps), with their
-// backing arrays shared across the whole topology, so a million-node run
-// costs a constant number of allocations rather than O(n) maps. The engine
-// behind the nodeEnv passed to act/receive decides how announce/deliver are
-// realized; the protocol rules below are engine independent.
+// are slot-indexed windows parallel to nbrs (no maps), carved from backing
+// arrays shared across the whole topology, so a million-node run costs a
+// constant number of allocations rather than O(n) maps. The boolean views
+// (incoming, list, acked) are bit-packed — one bit per edge endpoint
+// instead of one byte — which is what makes 10M-node state fit cache and
+// memory; packing is dense within one executor's nodes and word-aligned at
+// executor boundaries, so no two goroutines ever write the same word. The
+// engine behind the nodeEnv passed to act/receive decides how
+// announce/deliver are realized; the protocol rules below are engine
+// independent.
 type runNode struct {
 	id     graph.NodeID
 	alg    Algorithm
@@ -70,18 +76,16 @@ type runNode struct {
 	// reverseMsg to nbrs[i] must carry so the receiver locates the shared
 	// edge in O(1).
 	peerSlot []int32
-	// incoming[i] is this node's view of edge {id, nbrs[i]}: true if it
+	// incoming bit i is this node's view of edge {id, nbrs[i]}: set if it
 	// points toward id. Views marked incoming are always truthful; views
-	// marked outgoing may lag behind an undelivered reverseMsg.
-	incoming []bool
-	// inCount is the number of true entries of incoming, maintained
-	// incrementally so the sink check is O(1) instead of O(deg).
-	inCount int
+	// marked outgoing may lag behind an undelivered reverseMsg. The sink
+	// check is a word-at-a-time AllSet scan, so no incremental counter is
+	// needed.
+	incoming bitset.View
 	// list is PR's list[u] as a slot-indexed bitmap parallel to nbrs:
-	// neighbours that reversed toward this node since its last step.
-	// listCount is the number of true entries. nil for the other variants.
-	list      []bool
-	listCount int
+	// neighbours that reversed toward this node since its last step. Empty
+	// (zero View) for the other variants; nd.alg discriminates.
+	list bitset.View
 	// count is NewPR's step counter; its parity selects the reversal set.
 	count int
 	// initIn and initOut are NewPR's immutable initial neighbour sets as
@@ -108,10 +112,10 @@ type relState struct {
 	// re-acknowledged but not re-applied, which is what keeps a late copy
 	// from resurrecting an already-reversed view.
 	recvSeq []uint32
-	// acked[i] reports whether sendSeq[i] has been acknowledged; it
+	// acked bit i reports whether sendSeq[i] has been acknowledged; it
 	// suppresses retransmissions when one copy of a duplicated payload was
 	// delivered and another dropped.
-	acked []bool
+	acked bitset.View
 	// retries[i] counts retransmissions of sendSeq[i]; it is the Attempt
 	// coordinate of the fault injector's decisions, capped by the
 	// fair-loss retry budget.
@@ -135,33 +139,55 @@ func slotOf(nbrs []graph.NodeID, v graph.NodeID) int32 {
 // core.Init adjacency once, here, which is what lets every delivered
 // message skip the neighbour lookup forever after. With reliable set (a
 // fault adversary is armed), each node additionally gets its slot-indexed
-// ack/retransmit state, carved from four more topology-sized arrays.
-func newRunNodes(in *core.Init, alg Algorithm, reliable bool) []runNode {
+// ack/retransmit state, carved from more topology-sized arrays.
+//
+// The boolean views are packed one bit per edge endpoint into shared word
+// arrays. owner maps a node to its executor (the shard index for the
+// sharded engine); consecutive nodes with the same owner pack densely into
+// shared words, and the carver inserts word-alignment padding wherever the
+// owner changes, so two executors never write the same backing word — the
+// engines need no synchronization on the views. A nil owner means every
+// node runs on its own executor (the goroutine-per-node engine): each
+// node's bits then start on a fresh word.
+func newRunNodes(in *core.Init, alg Algorithm, reliable bool, owner func(graph.NodeID) int) []runNode {
 	g := in.Graph()
 	n := g.NumNodes()
 	dest := in.Destination()
 	initial := in.InitialOrientation()
 	totalDeg := 2 * g.NumEdges()
 
+	// First pass: lay out the bit offsets, padding at ownership changes.
+	bitOffs := make([]int, n+1)
+	bitOff := 0
+	for u := 0; u < n; u++ {
+		if u > 0 && (owner == nil || owner(graph.NodeID(u)) != owner(graph.NodeID(u-1))) {
+			bitOff = bitset.Align(bitOff)
+		}
+		bitOffs[u] = bitOff
+		bitOff += len(g.Neighbors(graph.NodeID(u)))
+	}
+	bitOffs[n] = bitOff
+	words := bitset.Words(bitOff)
+
 	nodes := make([]runNode, n)
 	flatSlots := make([]int32, totalDeg)
-	flatIncoming := make([]bool, totalDeg)
-	var flatList []bool
+	incomingWords := make([]uint64, words)
+	var listWords []uint64
 	var flatParity []int32
 	if alg == PartialReversal {
-		flatList = make([]bool, totalDeg)
+		listWords = make([]uint64, words)
 	}
 	if alg == StaticPartialReversal {
 		flatParity = make([]int32, totalDeg)
 	}
 	var flatSendSeq, flatRecvSeq []uint32
-	var flatAcked []bool
+	var ackedWords []uint64
 	var flatRetries []int32
 	var rels []relState
 	if reliable {
 		flatSendSeq = make([]uint32, totalDeg)
 		flatRecvSeq = make([]uint32, totalDeg)
-		flatAcked = make([]bool, totalDeg)
+		ackedWords = make([]uint64, words)
 		flatRetries = make([]int32, totalDeg)
 		rels = make([]relState, n)
 	}
@@ -177,17 +203,16 @@ func newRunNodes(in *core.Init, alg Algorithm, reliable bool) []runNode {
 		nd.isDest = id == dest
 		nd.nbrs = nbrs
 		nd.peerSlot = flatSlots[off : off+deg : off+deg]
-		nd.incoming = flatIncoming[off : off+deg : off+deg]
+		nd.incoming = bitset.Slice(incomingWords, bitOffs[u], deg)
 		for i, v := range nbrs {
 			nd.peerSlot[i] = slotOf(g.Neighbors(v), id)
 			if initial.PointsTo(v, id) {
-				nd.incoming[i] = true
-				nd.inCount++
+				nd.incoming.Set(i)
 			}
 		}
 		switch alg {
 		case PartialReversal:
-			nd.list = flatList[off : off+deg : off+deg]
+			nd.list = bitset.Slice(listWords, bitOffs[u], deg)
 		case StaticPartialReversal:
 			in0 := in.InNbrs(id)
 			parity := flatParity[off : off+deg : off+deg]
@@ -204,7 +229,7 @@ func newRunNodes(in *core.Init, alg Algorithm, reliable bool) []runNode {
 			rels[u] = relState{
 				sendSeq: flatSendSeq[off : off+deg : off+deg],
 				recvSeq: flatRecvSeq[off : off+deg : off+deg],
-				acked:   flatAcked[off : off+deg : off+deg],
+				acked:   bitset.Slice(ackedWords, bitOffs[u], deg),
 				retries: flatRetries[off : off+deg : off+deg],
 			}
 			nd.rel = &rels[u]
@@ -216,15 +241,16 @@ func newRunNodes(in *core.Init, alg Algorithm, reliable bool) []runNode {
 
 // viewSink reports whether this node believes it is an enabled sink: not
 // the destination, at least one neighbour, and every incident edge
-// incoming in its view.
+// incoming in its view. The packed view makes this a word-at-a-time scan
+// — ⌈deg/64⌉ compares instead of a per-slot loop or a maintained counter.
 func (nd *runNode) viewSink() bool {
-	return !nd.isDest && len(nd.nbrs) > 0 && nd.inCount == len(nd.nbrs)
+	return !nd.isDest && len(nd.nbrs) > 0 && nd.incoming.AllSet()
 }
 
 // incomingTo returns this node's view of the edge to neighbour v. Used only
 // for the final reassembly after quiescence.
 func (nd *runNode) incomingTo(v graph.NodeID) bool {
-	return nd.incoming[slotOf(nd.nbrs, v)]
+	return nd.incoming.Test(int(slotOf(nd.nbrs, v)))
 }
 
 // step performs one reversal step, selecting the reversed slots by the
@@ -237,31 +263,36 @@ func (nd *runNode) step(env nodeEnv) {
 	switch nd.alg {
 	case FullReversal:
 		env.announce(nd.id, len(nd.nbrs))
-		clear(nd.incoming)
-		nd.inCount = 0
+		nd.incoming.ClearAll()
 		for i := range nd.nbrs {
 			nd.sendReverse(env, int32(i))
 		}
 	case PartialReversal:
-		full := nd.listCount == len(nd.nbrs)
-		targets := len(nd.nbrs) - nd.listCount
+		listCount := nd.list.Count()
+		full := listCount == len(nd.nbrs)
+		targets := len(nd.nbrs) - listCount
 		if full {
 			targets = len(nd.nbrs)
 		}
 		env.announce(nd.id, targets)
-		for i := range nd.nbrs {
-			if full || !nd.list[i] {
-				nd.incoming[i] = false
-			}
-		}
-		nd.inCount -= targets
-		for i := range nd.nbrs {
-			if full || !nd.list[i] {
+		if full {
+			nd.incoming.ClearAll()
+			for i := range nd.nbrs {
 				nd.sendReverse(env, int32(i))
 			}
-			nd.list[i] = false
+		} else {
+			for i := range nd.nbrs {
+				if !nd.list.Test(i) {
+					nd.incoming.Clear(i)
+				}
+			}
+			for i := range nd.nbrs {
+				if !nd.list.Test(i) {
+					nd.sendReverse(env, int32(i))
+				}
+			}
 		}
-		nd.listCount = 0
+		nd.list.ClearAll()
 	case StaticPartialReversal:
 		slots := nd.initIn
 		if nd.count%2 == 1 {
@@ -270,9 +301,8 @@ func (nd *runNode) step(env nodeEnv) {
 		nd.count++
 		env.announce(nd.id, len(slots))
 		for _, i := range slots {
-			nd.incoming[i] = false
+			nd.incoming.Clear(int(i))
 		}
-		nd.inCount -= len(slots)
 		for _, i := range slots {
 			nd.sendReverse(env, i)
 		}
@@ -292,18 +322,13 @@ func (nd *runNode) act(env nodeEnv) {
 
 // receive applies one reversal announcement from the neighbour at slot and
 // takes any steps it enables. Engines call it with full ownership of the
-// node. The guards keep the counters exact under message duplication (the
-// reliable-delivery layer deduplicates by sequence number before this
-// point, but the guards keep the counters exact even for an engine without
-// it).
+// node. Bit sets are idempotent, so duplicated deliveries (an engine
+// without the reliable-delivery layer's sequence-number dedup) cannot
+// corrupt the view.
 func (nd *runNode) receive(env nodeEnv, slot int32) {
-	if !nd.incoming[slot] {
-		nd.incoming[slot] = true
-		nd.inCount++
-	}
-	if nd.list != nil && !nd.list[slot] {
-		nd.list[slot] = true
-		nd.listCount++
+	nd.incoming.Set(int(slot))
+	if nd.alg == PartialReversal {
+		nd.list.Set(int(slot))
 	}
 	nd.act(env)
 }
@@ -319,7 +344,7 @@ func (nd *runNode) sendReverse(env nodeEnv, i int32) {
 	}
 	r := nd.rel
 	r.sendSeq[i]++
-	r.acked[i] = false
+	r.acked.Clear(int(i))
 	r.retries[i] = 0
 	env.send(nd.id, i, nd.nbrs[i], nd.peerSlot[i], r.sendSeq[i], 0, msgData)
 }
@@ -349,10 +374,10 @@ func (nd *runNode) handle(env nodeEnv, m reverseMsg) {
 		nd.receive(env, m.Slot)
 	case msgAck:
 		if m.Seq == r.sendSeq[m.Slot] {
-			r.acked[m.Slot] = true
+			r.acked.Set(int(m.Slot))
 		}
 	case msgNack:
-		if m.Seq != r.sendSeq[m.Slot] || r.acked[m.Slot] {
+		if m.Seq != r.sendSeq[m.Slot] || r.acked.Test(int(m.Slot)) {
 			return
 		}
 		r.retries[m.Slot]++
@@ -379,7 +404,7 @@ func newNodeEngine(c *runCore, in *core.Init, alg Algorithm, opts Options) *node
 	n := in.Graph().NumNodes()
 	e := &nodeEngine{
 		c:     c,
-		nodes: newRunNodes(in, alg, c.inj != nil),
+		nodes: newRunNodes(in, alg, c.inj != nil, nil),
 		tx:    make([]chan reverseMsg, n),
 		rx:    make([]chan reverseMsg, n),
 	}

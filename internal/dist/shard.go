@@ -14,13 +14,27 @@ import (
 // writes with no lookup. Seq, Kind and Hold belong to the
 // reliable-delivery layer and stay zero on a reliable network, exactly as
 // in reverseMsg.
+//
+// Copies is the outbox coalescing count: the number of additional
+// byte-identical transmissions riding piggyback on this entry (see
+// shard.route). The receiving shard expands the message Copies+1 times, so
+// every protocol- and ledger-visible effect of each squashed copy — the
+// sequence-number dedup, the re-acknowledgement, the holdback requeues —
+// happens exactly as if the copies had shipped individually; only the
+// transport payload shrinks. Senders always route with Copies == 0.
 type shardMsg struct {
-	To   graph.NodeID
-	Slot int32
-	Seq  uint32
-	Kind msgKind
-	Hold uint8
+	To     graph.NodeID
+	Slot   int32
+	Seq    uint32
+	Kind   msgKind
+	Hold   uint8
+	Copies uint8
 }
+
+// maxCopies caps the coalescing count; a further identical transmission
+// starts a fresh outbox entry. (Unreachable in practice: the injector caps
+// duplication at maxExtra copies per judgment.)
+const maxCopies = ^uint8(0)
 
 // batch is a reusable buffer of cross-shard messages. Batches circulate
 // through the engine's pool: a sender takes one when it first writes to an
@@ -44,17 +58,86 @@ type partitioner struct {
 	shards int
 	// block is the nodes-per-shard quotum ⌈n/shards⌉ of PartitionBlock.
 	block int
+	// assign is PartitionLocality's precomputed node→shard table; nil for
+	// the arithmetic schemes. Node IDs beyond its length (added after
+	// construction by a dynamic network) clamp onto the last shard.
+	assign []int32
 }
 
-func newPartitioner(scheme Partition, n, shards int) partitioner {
-	return partitioner{scheme: scheme, shards: shards, block: (n + shards - 1) / shards}
+// newPartitioner builds the node→shard assignment. nbrs exposes the
+// topology's ascending adjacency to PartitionLocality; when it is nil (no
+// graph is available at construction), locality falls back to block —
+// which is the documented degradation, not an error.
+func newPartitioner(scheme Partition, n, shards int, nbrs func(graph.NodeID) []graph.NodeID) partitioner {
+	p := partitioner{scheme: scheme, shards: shards, block: (n + shards - 1) / shards}
+	if scheme == PartitionLocality {
+		if nbrs == nil {
+			p.scheme = PartitionBlock
+		} else {
+			p.assign = localityAssign(n, shards, nbrs)
+		}
+	}
+	return p
 }
 
 func (p partitioner) shardOf(u graph.NodeID) int {
-	if p.scheme == PartitionHash {
+	switch {
+	case p.assign != nil:
+		if int(u) >= len(p.assign) {
+			return p.shards - 1
+		}
+		return int(p.assign[u])
+	case p.scheme == PartitionHash:
 		return int(u) % p.shards
+	default:
+		return int(u) / p.block
 	}
-	return int(u) / p.block
+}
+
+// localityAssign is PartitionLocality's deterministic BFS greedy growth:
+// starting from the lowest-ID unassigned node, a breadth-first frontier
+// grows the current shard until it reaches the ⌈n/shards⌉ quota, then the
+// next shard continues from the same frontier, so each shard is a union of
+// BFS layers — contiguous in the topology regardless of how IDs were
+// assigned. Disconnected components are swept up by rescanning for the
+// next unassigned seed. Neighbour order is the graph's ascending adjacency
+// and ties always break toward lower IDs, so the assignment is a pure
+// function of the topology. Every shard receives exactly the block quota
+// (the last may run short), matching PartitionBlock's balance.
+func localityAssign(n, shards int, nbrs func(graph.NodeID) []graph.NodeID) []int32 {
+	const unseen, queued = -1, -2
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = unseen
+	}
+	quota := (n + shards - 1) / shards
+	queue := make([]graph.NodeID, 0, n)
+	head, seed := 0, 0
+	cur, filled := int32(0), 0
+	for assigned := 0; assigned < n; assigned++ {
+		if head == len(queue) {
+			for assign[seed] != unseen {
+				seed++
+			}
+			assign[seed] = queued
+			queue = append(queue, graph.NodeID(seed))
+		}
+		u := queue[head]
+		head++
+		if filled == quota {
+			cur++
+			filled = 0
+		}
+		assign[u] = cur
+		filled++
+		for _, v := range nbrs(u) {
+			if assign[v] == unseen {
+				assign[v] = queued
+				queue = append(queue, v)
+			}
+		}
+	}
+	return assign
 }
 
 // shardEngine partitions the nodes across a fixed set of shard goroutines.
@@ -79,14 +162,26 @@ type shardEngine struct {
 var _ engine = (*shardEngine)(nil)
 
 func newShardEngine(c *runCore, in *core.Init, alg Algorithm, opts Options, shards int) *shardEngine {
-	n := in.Graph().NumNodes()
+	g := in.Graph()
+	n := g.NumNodes()
+	// The partitioner is built before the node table: newRunNodes packs the
+	// bit views densely within one shard's nodes and word-aligns the
+	// boundaries between shards, so it needs the ownership map up front.
+	part := newPartitioner(opts.Partition, n, shards, g.Neighbors)
 	e := &shardEngine{
 		c:      c,
-		part:   newPartitioner(opts.Partition, n, shards),
-		nodes:  newRunNodes(in, alg, c.inj != nil),
+		part:   part,
+		nodes:  newRunNodes(in, alg, c.inj != nil, part.shardOf),
 		shards: make([]*shard, shards),
 	}
 	e.pool.New = func() any { return new(batch) }
+	// Coalescing needs the per-shard dedup map only when repeats can occur
+	// at all: on a reliable network a directed link carries at most one
+	// transmission per flush window (a node re-reverses an edge only after
+	// the neighbour reversed it back, which requires a round trip through
+	// the unflushed outbox), so the map — and its per-message lookup — is
+	// armed only under a fault adversary.
+	coalesce := c.inj != nil && opts.Coalesce == CoalesceOn
 	for i := range e.shards {
 		e.shards[i] = &shard{
 			eng: e,
@@ -94,6 +189,9 @@ func newShardEngine(c *runCore, in *core.Init, alg Algorithm, opts Options, shar
 			out: make([]*batch, shards),
 			tx:  make(chan *batch, opts.MailboxCap),
 			rx:  make(chan *batch),
+		}
+		if coalesce {
+			e.shards[i].coalesce = make(map[shardMsg]int32)
 		}
 	}
 	for u := 0; u < n; u++ {
@@ -141,6 +239,19 @@ type shard struct {
 	// out[d] is the outbox of messages bound for shard d — a pooled batch,
 	// taken lazily on first write and handed off whole at flush.
 	out []*batch
+	// coalesce indexes the current flush window's outbox entries by their
+	// content (Copies zeroed), so a byte-identical repeat increments the
+	// existing entry's Copies instead of appending. The key's To field pins
+	// each entry to exactly one destination batch, so one map covers all
+	// outboxes; it is cleared when the window closes at flush. nil when
+	// coalescing is off or no adversary is armed (reliable traffic cannot
+	// repeat within a window; see newShardEngine).
+	coalesce map[shardMsg]int32
+	// remotePending and coalescedPending accumulate this window's
+	// cross-shard transmission count (pre-coalescing) and squashed-copy
+	// count; flush folds them into the shared atomics, so the hot path
+	// never touches one.
+	remotePending, coalescedPending int64
 	// tx is the ingress channel of this shard's mailbox; rx the pump's
 	// output.
 	tx, rx chan *batch
@@ -170,12 +281,28 @@ func (s *shard) deliver(to graph.NodeID, slot int32) {
 // route files one transmission by destination shard. No token is taken
 // here under either path: intra-shard messages are covered by the token
 // the shard currently holds, and cross-shard batches take theirs at flush.
+// Cross-shard transmissions are counted (Stats.Remote) before coalescing,
+// so the count reflects what the protocol sent, not what the transport
+// shipped; a transmission byte-identical to one already in the window's
+// outbox is folded into that entry's Copies instead of appending
+// (Stats.Coalesced), and the receiver expands it back, so the fault
+// ledger — every ack, dedup and retransmission decision downstream of the
+// squashed copy — is unchanged.
 func (s *shard) route(m shardMsg) {
 	if d := s.eng.part.shardOf(m.To); d != s.id {
+		s.remotePending++
 		b := s.out[d]
 		if b == nil {
 			b = s.eng.getBatch()
 			s.out[d] = b
+		}
+		if s.coalesce != nil {
+			if i, ok := s.coalesce[m]; ok && b.msgs[i].Copies < maxCopies {
+				b.msgs[i].Copies++
+				s.coalescedPending++
+				return
+			}
+			s.coalesce[m] = int32(len(b.msgs))
 		}
 		b.msgs = append(b.msgs, m)
 		return
@@ -205,8 +332,12 @@ func (s *shard) send(from graph.NodeID, fromSlot int32, to graph.NodeID, toSlot 
 
 // process resolves one transmission for delivery: a pending holdback sends
 // the message to the back of the local run-queue (everything currently
-// queued overtakes it — the logical-time delay), everything else reaches
-// the owning node.
+// queued overtakes it — the logical-time delay; coalesced copies ride
+// along, exactly as the individually-shipped copies would have been
+// requeued back to back), everything else reaches the owning node. A
+// coalesced message is delivered Copies+1 times, so the receiver's
+// sequence-number dedup and per-copy re-acknowledgement behave exactly as
+// if every copy had shipped.
 func (s *shard) process(m shardMsg) {
 	if m.Hold > 0 {
 		m.Hold--
@@ -214,11 +345,16 @@ func (s *shard) process(m shardMsg) {
 		return
 	}
 	nd := &s.eng.nodes[m.To]
-	if nd.rel != nil {
-		nd.handle(s, reverseMsg{Slot: m.Slot, Seq: m.Seq, Kind: m.Kind})
-		return
+	for c := uint8(0); ; c++ {
+		if nd.rel != nil {
+			nd.handle(s, reverseMsg{Slot: m.Slot, Seq: m.Seq, Kind: m.Kind})
+		} else {
+			nd.receive(s, m.Slot)
+		}
+		if c >= m.Copies {
+			return
+		}
 	}
-	nd.receive(s, m.Slot)
 }
 
 // loop is the shard goroutine: run the initial acts of the owned nodes,
@@ -268,11 +404,24 @@ func (s *shard) drain() bool {
 }
 
 // flush sends every non-empty outbox to its destination shard as a single
-// batch. The batch's in-flight token is added before the send, so the
-// counter can never reach zero while a batch exists; the receiving shard
-// retires the token after fully processing the batch and returns the
-// buffer to the pool.
+// batch, closing the coalescing window. The batch's in-flight token is
+// added before the send, so the counter can never reach zero while a batch
+// exists; the receiving shard retires the token after fully processing the
+// batch and returns the buffer to the pool. The window's pending remote
+// and coalesced counts fold into the shared atomics here — once per flush,
+// never per message.
 func (s *shard) flush() bool {
+	if s.remotePending > 0 {
+		s.eng.c.remote.Add(s.remotePending)
+		s.remotePending = 0
+	}
+	if s.coalescedPending > 0 {
+		s.eng.c.coalesced.Add(s.coalescedPending)
+		s.coalescedPending = 0
+	}
+	if len(s.coalesce) > 0 {
+		clear(s.coalesce)
+	}
 	for d, b := range s.out {
 		if b == nil {
 			continue

@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"linkreversal/internal/automaton"
@@ -33,6 +34,10 @@ type Suite struct {
 	// Engines are the dist execution engines exercised by E8; empty means
 	// both (goroutine-per-node and sharded).
 	Engines []dist.Engine
+	// Partition selects the sharded engine's node-to-shard assignment for
+	// E8 (lrbench -partition); 0 means block. The goroutine engine has no
+	// shards, so its rows are unaffected and report "-".
+	Partition dist.Partition
 	// Faults optionally injects a network adversary into every distributed
 	// run of E7/E8 (lrbench -faults); nil means a reliable network. The
 	// fault columns of E8 then report what the adversary did.
@@ -420,13 +425,16 @@ func E7SocialCost(s Suite) (*trace.Table, error) {
 // E8Distributed runs the asynchronous protocols under every configured
 // execution engine — and under Suite.Faults when a network adversary is
 // configured — and compares their work, message and batch counts against
-// centralized greedy executions. The drops/dups/retrans columns report the
-// adversary's interference and the retransmissions that neutralized it
+// centralized greedy executions. The partition column names the sharded
+// engine's node-to-shard scheme ("-" for the goroutine engine, which has no
+// shards); bytes/node is the heap allocated per node over the run, measured
+// from runtime.ReadMemStats deltas. The drops/dups/retrans columns report
+// the adversary's interference and the retransmissions that neutralized it
 // (all zero on a reliable network).
 func E8Distributed(s Suite) (*trace.Table, error) {
 	tb := trace.NewTable("E8: asynchronous distributed runs",
-		"topology", "algorithm", "engine", "messages", "batches", "reversals", "centralized-reversals",
-		"drops", "dups", "retrans", "oriented")
+		"topology", "algorithm", "engine", "partition", "messages", "batches", "bytes/node",
+		"reversals", "centralized-reversals", "drops", "dups", "retrans", "oriented")
 	topos := []*workload.Topology{
 		workload.BadChain(16),
 		workload.Grid(4, 4),
@@ -453,17 +461,33 @@ func E8Distributed(s Suite) (*trace.Table, error) {
 			}
 			for _, eng := range s.engines() {
 				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-				res, err := dist.RunWith(ctx, in, alg, dist.Options{Engine: eng, Adversary: s.Faults})
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				res, err := dist.RunWith(ctx, in, alg, dist.Options{
+					Engine: eng, Partition: s.Partition, Adversary: s.Faults,
+				})
+				runtime.ReadMemStats(&after)
 				cancel()
 				if err != nil {
 					return nil, fmt.Errorf("E8 %s/%v/%v: %w", topo.Name, alg, eng, err)
+				}
+				bytesPerNode := int(after.TotalAlloc-before.TotalAlloc) / in.Graph().NumNodes()
+				partition := "-"
+				if eng == dist.Sharded {
+					p := s.Partition
+					if p == 0 {
+						p = dist.PartitionBlock
+					}
+					partition = p.String()
 				}
 				oriented := "yes"
 				if !graph.IsDestinationOriented(res.Final, in.Destination()) {
 					oriented = "NO"
 				}
 				tb.MustAddRow(trace.S(topo.Name), trace.S(alg.String()), trace.S(eng.String()),
-					trace.I(res.Stats.Messages), trace.I(res.Stats.Batches),
+					trace.S(partition),
+					trace.I(res.Stats.Messages), trace.I(res.Stats.Batches), trace.I(bytesPerNode),
 					trace.I(res.Stats.TotalReversals), trace.I(resC.TotalReversals),
 					trace.I(res.Stats.Drops), trace.I(res.Stats.Dups), trace.I(res.Stats.Retransmits),
 					trace.S(oriented))

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"linkreversal/internal/dist"
 	"linkreversal/internal/faults"
 	"linkreversal/internal/trace"
 )
@@ -168,11 +169,20 @@ func TestE8Distributed(t *testing.T) {
 	engines := map[string]bool{}
 	for _, row := range tb.Rows {
 		engines[cellString(row[2])] = true
-		if cellString(row[10]) != "yes" {
+		if cellString(row[12]) != "yes" {
 			t.Errorf("distributed run not destination-oriented: %s/%s/%s",
 				cellString(row[0]), cellString(row[1]), cellString(row[2]))
 		}
-		for _, col := range []int{7, 8, 9} { // drops, dups, retrans on a reliable network
+		// The partition column names the sharded scheme; the goroutine
+		// engine has no shards.
+		want := "-"
+		if cellString(row[2]) == "sharded" {
+			want = "block"
+		}
+		if got := cellString(row[3]); got != want {
+			t.Errorf("%s row has partition %q, want %q", cellString(row[2]), got, want)
+		}
+		for _, col := range []int{9, 10, 11} { // drops, dups, retrans on a reliable network
 			if cellString(row[col]) != "0" {
 				t.Errorf("reliable E8 row has non-zero fault column %d: %s", col, cellString(row[col]))
 			}
@@ -180,6 +190,31 @@ func TestE8Distributed(t *testing.T) {
 	}
 	if !engines["goroutine-per-node"] || !engines["sharded"] {
 		t.Errorf("E8 should cover both engines by default, got %v", engines)
+	}
+}
+
+func TestE8DistributedPartition(t *testing.T) {
+	s := small()
+	s.Partition = dist.PartitionLocality
+	tb, err := E8Distributed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, row := range tb.Rows {
+		if cellString(row[12]) != "yes" {
+			t.Errorf("locality-partitioned run not destination-oriented: %s/%s/%s",
+				cellString(row[0]), cellString(row[1]), cellString(row[2]))
+		}
+		if cellString(row[2]) == "sharded" {
+			seen = true
+			if got := cellString(row[3]); got != "locality" {
+				t.Errorf("sharded row has partition %q, want locality", got)
+			}
+		}
+	}
+	if !seen {
+		t.Error("no sharded rows in the locality-partitioned suite")
 	}
 }
 
@@ -192,12 +227,12 @@ func TestE8DistributedAdversarial(t *testing.T) {
 	}
 	drops := 0
 	for _, row := range tb.Rows {
-		if cellString(row[10]) != "yes" {
+		if cellString(row[12]) != "yes" {
 			t.Errorf("adversarial run not destination-oriented: %s/%s/%s",
 				cellString(row[0]), cellString(row[1]), cellString(row[2]))
 		}
 		var d int
-		fmt.Sscanf(cellString(row[7]), "%d", &d)
+		fmt.Sscanf(cellString(row[9]), "%d", &d)
 		drops += d
 	}
 	if drops == 0 {

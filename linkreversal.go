@@ -413,6 +413,13 @@ type DistEngine = dist.Engine
 // DistPartition selects the sharded engine's node-to-shard assignment.
 type DistPartition = dist.Partition
 
+// DistCoalescing selects whether the sharded engine's outboxes fold
+// byte-identical transmissions of one flush window into a single shipped
+// message (DistCoalesceOn, the default) or ship every copy individually
+// (DistCoalesceOff). Orientations, traces and the fault ledger are
+// identical either way.
+type DistCoalescing = dist.Coalescing
+
 // DistTrace selects whether a distributed run records the global step
 // linearization (DistTraceRecorded, the default) or skips it
 // (DistTraceOff) so production-scale runs pay no lock and no O(steps)
@@ -432,6 +439,15 @@ const (
 	DistPartitionBlock = dist.PartitionBlock
 	// DistPartitionHash assigns node u to shard u mod shards.
 	DistPartitionHash = dist.PartitionHash
+	// DistPartitionLocality grows each shard as a BFS region of the
+	// topology, keeping neighbourhoods shard-local even when node IDs carry
+	// no locality.
+	DistPartitionLocality = dist.PartitionLocality
+	// DistCoalesceOn folds duplicate transmissions at the shard outbox
+	// (default under a fault adversary; free on reliable networks).
+	DistCoalesceOn = dist.CoalesceOn
+	// DistCoalesceOff ships every transmission copy individually.
+	DistCoalesceOff = dist.CoalesceOff
 	// DistTraceRecorded records the linearized step trace (default); the
 	// trace is what the sequential replay cross-checks consume.
 	DistTraceRecorded = dist.TraceRecorded
@@ -506,11 +522,16 @@ type DistReport struct {
 	// Drops, Dups, Held, Retransmits and Acks report the network
 	// adversary's interference and the reliable-delivery traffic that
 	// neutralized it.
-	Drops               int
-	Dups                int
-	Held                int
-	Retransmits         int
-	Acks                int
+	Drops       int
+	Dups        int
+	Held        int
+	Retransmits int
+	Acks        int
+	// Remote counts sharded-engine cross-shard messages before
+	// coalescing; Coalesced counts the transmissions the outbox folded
+	// away (zero on the goroutine engine or with DistCoalesceOff).
+	Remote    int
+	Coalesced int
 	Acyclic             bool
 	DestinationOriented bool
 	Final               *Orientation
@@ -548,6 +569,8 @@ func RunDistributedWith(ctx context.Context, topo *Topology, alg DistAlgorithm, 
 		Held:                res.Stats.Held,
 		Retransmits:         res.Stats.Retransmits,
 		Acks:                res.Stats.Acks,
+		Remote:              res.Stats.Remote,
+		Coalesced:           res.Stats.Coalesced,
 		Acyclic:             graph.IsAcyclic(res.Final),
 		DestinationOriented: graph.IsDestinationOriented(res.Final, topo.Dest),
 		Final:               res.Final,
