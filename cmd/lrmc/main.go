@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	lrmc -topo alt-chain -n 6 [-max 1000000]
+//	lrmc -topo alt-chain -n 6 [-max 1000000] [-reduce none|sleep|ample]
 package main
 
 import (
@@ -36,9 +36,21 @@ func run(args []string) error {
 		p        = fs.Float64("p", 0.4, "edge density for random topology")
 		seed     = fs.Int64("seed", 1, "random seed")
 		maxSt    = fs.Int("max", 1<<20, "state limit")
+		reduce   = fs.String("reduce", "none", "partial-order reduction: none (full census), sleep (same census, fewer transitions), ample (canonical execution only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reduction mc.Reduction
+	switch strings.ToLower(*reduce) {
+	case "none":
+		reduction = mc.ReduceNone
+	case "sleep":
+		reduction = mc.ReduceSleep
+	case "ample":
+		reduction = mc.ReduceAmple
+	default:
+		return fmt.Errorf("unknown reduction %q (want none, sleep or ample)", *reduce)
 	}
 	var topo *workload.Topology
 	switch strings.ToLower(*topoName) {
@@ -78,7 +90,7 @@ func run(args []string) error {
 		{name: "GBFull", a: core.NewGBFull(in), invs: core.BasicInvariants()},
 	}
 	for _, v := range variants {
-		res, err := mc.Explore(v.a, mc.Options{MaxStates: *maxSt, Invariants: v.invs})
+		res, err := mc.Explore(v.a, mc.Options{MaxStates: *maxSt, Invariants: v.invs, Reduction: reduction})
 		verdict := "all invariants hold"
 		if err != nil {
 			verdict = err.Error()

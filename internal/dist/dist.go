@@ -231,4 +231,13 @@ type Result struct {
 	// automaton (internal/core) reproduces Final exactly. Trace is nil when
 	// the run was executed with Options.RecordTrace == TraceOff.
 	Trace []graph.NodeID
+	// NodeSteps and NodeReversals are the per-node work counters
+	// accumulated when Options.Profile is ProfileOn (nil otherwise),
+	// indexed by node ID. NodeSteps[u] counts u's protocol steps and
+	// NodeReversals[u] the edges those steps reversed; their sums equal
+	// Stats.Steps and Stats.TotalReversals. They are the fitness surface
+	// of the adversarial search harness: per-node cost, skew and the
+	// paper's per-node bound oracles read off them without a trace replay.
+	NodeSteps     []int64
+	NodeReversals []int64
 }

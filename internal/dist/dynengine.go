@@ -157,11 +157,11 @@ func newDynShardBackend(net *DynamicNetwork, states []*dynState) *dynShardBacken
 	b.shards = make([]*dynShard, nsh)
 	for i := range b.shards {
 		b.shards[i] = &dynShard{
-			be: b,
-			id: i,
+			be:  b,
+			id:  i,
 			out: make([]*dynBatch, nsh),
-			tx: make(chan *dynBatch, net.opts.MailboxCap),
-			rx: make(chan *dynBatch),
+			tx:  make(chan *dynBatch, net.opts.MailboxCap),
+			rx:  make(chan *dynBatch),
 		}
 	}
 	for _, st := range states {

@@ -66,6 +66,12 @@ type runCore struct {
 	// inj is the armed fault injector, nil on a reliable network. Engines
 	// route every transmission through it when set.
 	inj *faults.Injector
+	// nodeSteps and nodeWork are the per-node profile counters, nil unless
+	// Options.Profile is ProfileOn. Slot u is written only by u's owning
+	// executor (its goroutine, or the shard that owns it), so the writes
+	// need no synchronization; readers wait for wg before looking.
+	nodeSteps []int64
+	nodeWork  []int64
 
 	mu      sync.Mutex // guards trace and failure only
 	trace   []graph.NodeID
@@ -105,6 +111,10 @@ func (c *runCore) record(u graph.NodeID, targets, credit, batches int) {
 		c.mu.Lock()
 		c.trace = append(c.trace, u)
 		c.mu.Unlock()
+	}
+	if c.nodeSteps != nil {
+		c.nodeSteps[u]++
+		c.nodeWork[u] += int64(targets)
 	}
 	steps := c.steps.Add(1)
 	c.reversals.Add(int64(targets))
@@ -248,6 +258,10 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 	if opts.Adversary != nil {
 		c.inj = faults.NewInjector(opts.Adversary)
 	}
+	if opts.Profile == ProfileOn {
+		c.nodeSteps = make([]int64, n)
+		c.nodeWork = make([]int64, n)
+	}
 	var eng engine
 	switch opts.Engine {
 	case GoroutinePerNode:
@@ -288,5 +302,11 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("dist: reassemble final orientation: %w", err)
 	}
-	return &Result{Final: final, Stats: c.snapshot(), Trace: c.trace}, nil
+	return &Result{
+		Final:         final,
+		Stats:         c.snapshot(),
+		Trace:         c.trace,
+		NodeSteps:     c.nodeSteps,
+		NodeReversals: c.nodeWork,
+	}, nil
 }

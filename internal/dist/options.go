@@ -149,6 +149,34 @@ func (t Trace) String() string {
 	}
 }
 
+// Profile selects whether RunWith maintains per-node work counters.
+type Profile int
+
+const (
+	// ProfileOff (the default) keeps the hot path free of per-node
+	// accounting; Result.NodeSteps and Result.NodeReversals are nil.
+	ProfileOff Profile = iota + 1
+	// ProfileOn accumulates per-node step and reversal counts during the
+	// run (each node's slot is written only by its owning executor, so the
+	// counters cost two plain writes per step, no atomics). It is the
+	// fitness hook of the adversarial search harness (internal/hunt): work
+	// skew and per-node bound oracles read these directly instead of
+	// replaying the trace.
+	ProfileOn
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	switch p {
+	case ProfileOff:
+		return "profile-off"
+	case ProfileOn:
+		return "profile-on"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
 // ErrBadOption is returned by RunWith for out-of-range Options values.
 var ErrBadOption = errors.New("dist: invalid option")
 
@@ -198,6 +226,12 @@ type Options struct {
 	// the algorithms, so the slack only matters to tests that want a
 	// tighter abort.
 	StepLimitSlack int
+	// Profile selects whether the run maintains per-node step and reversal
+	// counters (Result.NodeSteps / Result.NodeReversals); 0 means
+	// ProfileOff. Unlike the trace it stays O(n) regardless of run length,
+	// so worst-case-seeking searches can score long executions without
+	// retaining them.
+	Profile Profile
 	// Adversary injects seeded network faults (loss, duplication, delay,
 	// reorder) between senders and mailboxes; nil means a reliable network
 	// and the exact pre-fault hot path. A non-nil adversary also arms the
@@ -322,6 +356,13 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.StepLimitSlack == 0 {
 		o.StepLimitSlack = defaultStepLimitSlack
+	}
+	switch o.Profile {
+	case 0:
+		o.Profile = ProfileOff
+	case ProfileOff, ProfileOn:
+	default:
+		return o, fmt.Errorf("%w: profile mode %d", ErrBadOption, int(o.Profile))
 	}
 	if o.Adversary != nil {
 		if err := o.Adversary.Validate(); err != nil {

@@ -96,6 +96,12 @@ type Rand struct {
 	state uint64
 }
 
+// NewRand returns a splitmix64 stream seeded with state. It is the
+// generator the adversarial search harness (internal/hunt) uses for its
+// candidate mutations, so hunter decisions share the replayable-from-seed
+// determinism of the fault decisions themselves.
+func NewRand(state uint64) *Rand { return &Rand{state: state} }
+
 // Uint64 returns the next pseudo-random value of the stream.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -309,6 +315,15 @@ func Adversarial(seed int64) *Adversary {
 		Seed:     seed,
 		Scenario: "adversarial",
 	}
+}
+
+// Presets returns every built-in scenario preset at the given seed, in
+// hostility order: lossy, flaky, adversarial. It is the sampling baseline
+// of the adversarial search harness — the hunter measures the presets
+// first and then mutates beyond them, reporting how far past the sampled
+// maxima the searched worst case lands.
+func Presets(seed int64) []*Adversary {
+	return []*Adversary{Lossy(seed), Flaky(seed), Adversarial(seed)}
 }
 
 // Stats counts what the adversary did to the traffic. All counters are

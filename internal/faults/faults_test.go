@@ -207,3 +207,46 @@ func TestValidateErrorsName(t *testing.T) {
 		t.Errorf("error %v does not name the offending policy", err)
 	}
 }
+
+// TestPresetsOrder: the slice form lists the presets in hostility order
+// with the seed applied to each — the hunt baseline's contract.
+func TestPresetsOrder(t *testing.T) {
+	all := Presets(42)
+	want := []string{"lossy", "flaky", "adversarial"}
+	if len(all) != len(want) {
+		t.Fatalf("Presets returned %d adversaries, want %d", len(all), len(want))
+	}
+	for i, adv := range all {
+		if adv.Scenario != want[i] {
+			t.Errorf("preset %d = %s, want %s", i, adv.Scenario, want[i])
+		}
+		if adv.Seed != 42 {
+			t.Errorf("preset %s seed = %d, want 42", adv.Scenario, adv.Seed)
+		}
+		if err := adv.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", adv.Scenario, err)
+		}
+	}
+}
+
+// TestNewRand: the exported constructor yields the same deterministic
+// splitmix64 stream for equal states and distinct streams for different
+// states.
+func TestNewRand(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 16; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d != %d", i, x, y)
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Error("different states produced identical first draws")
+	}
+	c := NewRand(9)
+	if f := c.Float64(); f < 0 || f >= 1 {
+		t.Errorf("Float64 = %v outside [0, 1)", f)
+	}
+	if n := c.Intn(10); n < 0 || n >= 10 {
+		t.Errorf("Intn(10) = %d", n)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"linkreversal/internal/graph"
+)
+
+// TestWorkProfileFromCounts: the counter-built profile agrees with direct
+// accounting — per-node costs from the reversal slice, steps summed from
+// the step slice, zero-count nodes excluded from the active set.
+func TestWorkProfileFromCounts(t *testing.T) {
+	p := NewWorkProfileFromCounts([]int64{3, 0, 2, 1}, []int64{4, 0, 0, 6})
+	if got := p.Steps(); got != 6 {
+		t.Errorf("Steps = %d, want 6", got)
+	}
+	if got := p.SocialCost(); got != 10 {
+		t.Errorf("SocialCost = %d, want 10", got)
+	}
+	if got := p.NodeCost(0); got != 4 {
+		t.Errorf("NodeCost(0) = %d, want 4", got)
+	}
+	if got := p.NodeCost(1); got != 0 {
+		t.Errorf("NodeCost(1) = %d, want 0", got)
+	}
+	if got := p.ActiveNodes(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("ActiveNodes = %v, want [0 3]", got)
+	}
+	u, c := p.MaxNodeCost()
+	if u != 3 || c != 6 {
+		t.Errorf("MaxNodeCost = (%d, %d), want (3, 6)", u, c)
+	}
+}
+
+// TestSkew pins the imbalance measure: peak·active/total, 1 for even work,
+// rising toward the active-node count as one node absorbs everything.
+func TestSkew(t *testing.T) {
+	cases := []struct {
+		name  string
+		costs map[graph.NodeID]int
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"even", map[graph.NodeID]int{1: 5, 2: 5, 3: 5}, 1},
+		{"single", map[graph.NodeID]int{4: 9}, 1},
+		{"concentrated", map[graph.NodeID]int{1: 8, 2: 1, 3: 1}, 8 * 3.0 / 10.0},
+	}
+	for _, tc := range cases {
+		p := &WorkProfile{perNode: tc.costs}
+		if got := p.Skew(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Skew = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -53,6 +53,25 @@ func NewWorkProfile(e *automaton.Execution) *WorkProfile {
 	return p
 }
 
+// NewWorkProfileFromCounts builds a profile directly from per-node counter
+// slices indexed by node ID — the dist engines' ProfileOn output
+// (Result.NodeSteps / Result.NodeReversals). It is the allocation-light
+// sibling of WorkProfileFromSteps for runs whose trace was not retained:
+// the counters carry exactly the per-node attribution a replay would
+// recompute.
+func NewWorkProfileFromCounts(nodeSteps, nodeReversals []int64) *WorkProfile {
+	p := &WorkProfile{perNode: make(map[graph.NodeID]int)}
+	for u, c := range nodeReversals {
+		if c > 0 {
+			p.perNode[graph.NodeID(u)] = int(c)
+		}
+	}
+	for _, s := range nodeSteps {
+		p.steps += int(s)
+	}
+	return p
+}
+
 // NodeCost returns the number of reversals attributed to u.
 func (p *WorkProfile) NodeCost(u graph.NodeID) int { return p.perNode[u] }
 
@@ -108,6 +127,29 @@ func (p *WorkProfile) MaxNodeCost() (graph.NodeID, int) {
 		return -1, 0
 	}
 	return best, bestCost
+}
+
+// Skew is the load-imbalance measure of the profile: the largest per-node
+// cost divided by the mean cost over active (non-zero-cost) nodes. 1 means
+// perfectly even work; large values mean a few nodes absorbed the
+// repair. It is one of the adversarial search harness's fitness
+// objectives. A profile with no work has skew 0.
+func (p *WorkProfile) Skew() float64 {
+	active, total, peak := 0, 0, 0
+	for _, c := range p.perNode {
+		if c <= 0 {
+			continue
+		}
+		active++
+		total += c
+		if c > peak {
+			peak = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(peak) * float64(active) / float64(total)
 }
 
 // ActiveNodes returns the nodes with non-zero cost in ascending order.

@@ -530,8 +530,8 @@ type DistReport struct {
 	// Remote counts sharded-engine cross-shard messages before
 	// coalescing; Coalesced counts the transmissions the outbox folded
 	// away (zero on the goroutine engine or with DistCoalesceOff).
-	Remote    int
-	Coalesced int
+	Remote              int
+	Coalesced           int
 	Acyclic             bool
 	DestinationOriented bool
 	Final               *Orientation
