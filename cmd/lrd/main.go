@@ -1,0 +1,190 @@
+// Command lrd is the long-running link-reversal routing daemon: it owns a
+// live DynamicNetwork and serves concurrent HTTP route, orientation and
+// status queries from lock-free epoch snapshots while link churn (applied
+// through POST /links and /churn) is repaired by the protocol underneath.
+//
+// Usage:
+//
+//	lrd -addr 127.0.0.1:8080 -topo grid -n 10000 \
+//	    [-engine sharded] [-shards 8] [-partition locality] \
+//	    [-faults flaky] [-seed 1] [-publish 25ms]
+//
+// The daemon stabilizes the initial topology, prints one
+// "lrd: listening on http://HOST:PORT" line once the socket is bound, and
+// serves until SIGINT/SIGTERM, then drains gracefully. See
+// docs/OPERATIONS.md for the endpoint and metrics reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	lr "linkreversal"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lrd:", err)
+		os.Exit(1)
+	}
+}
+
+func parseEngine(s string) (lr.DistEngine, error) {
+	switch strings.ToLower(s) {
+	case "", "goroutine", "goroutine-per-node":
+		return lr.DistGoroutinePerNode, nil
+	case "sharded":
+		return lr.DistSharded, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (goroutine, sharded)", s)
+	}
+}
+
+func parsePartition(s string) (lr.DistPartition, error) {
+	switch strings.ToLower(s) {
+	case "", "block":
+		return lr.DistPartitionBlock, nil
+	case "hash":
+		return lr.DistPartitionHash, nil
+	case "locality":
+		return lr.DistPartitionLocality, nil
+	default:
+		return 0, fmt.Errorf("unknown partition %q (block, hash, locality)", s)
+	}
+}
+
+func parseFaults(s string, seed int64) (*lr.NetworkAdversary, error) {
+	switch strings.ToLower(s) {
+	case "", "none", "reliable":
+		return nil, nil
+	case "lossy":
+		return lr.LossyNetwork(seed), nil
+	case "flaky":
+		return lr.FlakyNetwork(seed), nil
+	case "adversarial":
+		return lr.AdversarialNetwork(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown fault scenario %q (none, lossy, flaky, adversarial)", s)
+	}
+}
+
+// parseTopology maps -topo/-n onto a workload generator. Unlike the batch
+// tools, -n is always the total node budget: grid picks the most balanced
+// r×c factorization with r·c ≥ n, so "-topo grid -n 10000" is a 100×100
+// grid.
+func parseTopology(name string, n int, seed int64) (*lr.Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("need at least 2 nodes, got %d", n)
+	}
+	switch strings.ToLower(name) {
+	case "chain", "good-chain":
+		return lr.GoodChain(n), nil
+	case "bad-chain":
+		return lr.BadChain(n - 1), nil
+	case "star":
+		return lr.Star(n), nil
+	case "grid":
+		r := int(math.Sqrt(float64(n)))
+		c := (n + r - 1) / r
+		return lr.Grid(r, c), nil
+	case "tree":
+		return lr.Tree(n, seed), nil
+	case "ring":
+		return lr.Ring(n, seed), nil
+	case "random":
+		return lr.RandomConnected(n, 0.1, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (chain, bad-chain, star, grid, tree, ring, random)", name)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lrd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		topoName  = fs.String("topo", "grid", "topology: chain, bad-chain, star, grid, tree, ring, random")
+		n         = fs.Int("n", 10000, "total node budget")
+		engName   = fs.String("engine", "goroutine", "execution engine: goroutine, sharded")
+		shards    = fs.Int("shards", 0, "shard count for -engine sharded (0 = GOMAXPROCS)")
+		partName  = fs.String("partition", "block", "sharded partition: block, hash, locality")
+		faultName = fs.String("faults", "none", "fault scenario: none, lossy, flaky, adversarial")
+		seed      = fs.Int64("seed", 1, "seed for random topologies and the fault adversary")
+		publish   = fs.Duration("publish", 25*time.Millisecond, "epoch snapshot cadence (0 = publish only at quiescence)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := parseEngine(*engName)
+	if err != nil {
+		return err
+	}
+	partition, err := parsePartition(*partName)
+	if err != nil {
+		return err
+	}
+	adversary, err := parseFaults(*faultName, *seed)
+	if err != nil {
+		return err
+	}
+	topo, err := parseTopology(*topoName, *n, *seed)
+	if err != nil {
+		return err
+	}
+
+	network, err := lr.NewDynamicNetworkWith(topo, lr.DynNetOptions{
+		Engine:       engine,
+		Shards:       *shards,
+		Partition:    partition,
+		Adversary:    adversary,
+		PublishEvery: *publish,
+	})
+	if err != nil {
+		return err
+	}
+	defer network.Stop()
+
+	start := time.Now()
+	if err := network.AwaitQuiescence(); err != nil {
+		// A partition in the initial topology is a servable state — the
+		// snapshot names the cut — so report it and serve anyway.
+		fmt.Fprintf(out, "lrd: initial topology partitioned: %v\n", err)
+	}
+	fmt.Fprintf(out, "lrd: %s stabilized in %v (%d nodes, engine %s, faults %s)\n",
+		topo.Name, time.Since(start).Round(time.Millisecond),
+		topo.Graph.NumNodes(), engine, scenarioName(adversary))
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lrd: listening on http://%s\n", l.Addr())
+
+	cfg := lr.ServeConfig{
+		Topology:       topo.Name,
+		Engine:         engine.String(),
+		Shards:         *shards,
+		Partition:      partition.String(),
+		Scenario:       scenarioName(adversary),
+		Seed:           *seed,
+		PublishEveryMS: publish.Milliseconds(),
+	}
+	return lr.Serve(ctx, l, network, cfg)
+}
+
+func scenarioName(a *lr.NetworkAdversary) string {
+	if a == nil {
+		return "reliable"
+	}
+	return a.Scenario
+}

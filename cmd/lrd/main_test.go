@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink run() writes its startup
+// lines into.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on http://([\d.:]+)`)
+
+// startDaemon boots run() on a free port and returns the bound address.
+func startDaemon(t *testing.T, args []string) (addr string, shutdown func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			cancel()
+			t.Fatalf("daemon exited before listening: %v\noutput: %s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address; output: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return addr, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(10 * time.Second):
+			return context.DeadlineExceeded
+		}
+	}
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	addr, shutdown := startDaemon(t, []string{"-topo", "chain", "-n", "16", "-publish", "1ms"})
+
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	var st struct {
+		N      int `json:"n"`
+		Epoch  int `json:"epoch"`
+		Config struct {
+			Topology string `json:"topology"`
+			Scenario string `json:"scenario"`
+		} `json:"config"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	resp.Body.Close()
+	if st.N != 16 || st.Epoch == 0 || st.Config.Scenario != "reliable" {
+		t.Errorf("status %+v", st)
+	}
+
+	resp, err = http.Get("http://" + addr + "/route/15")
+	if err != nil {
+		t.Fatalf("GET /route/15: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("route = %d", resp.StatusCode)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Errorf("graceful shutdown returned %v", err)
+	}
+}
+
+func TestDaemonShardedFlaky(t *testing.T) {
+	addr, shutdown := startDaemon(t, []string{
+		"-topo", "grid", "-n", "64",
+		"-engine", "sharded", "-shards", "4", "-partition", "locality",
+		"-faults", "flaky", "-seed", "7", "-publish", "1ms",
+	})
+	resp, err := http.Get("http://" + addr + "/route/63")
+	if err != nil {
+		t.Fatalf("GET /route/63: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("route on flaky sharded grid = %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nope"},
+		{"-topo", "torus"},
+		{"-engine", "quantum"},
+		{"-partition", "psychic"},
+		{"-faults", "solar-flare"},
+		{"-n", "1"},
+	} {
+		if err := run(context.Background(), args, &syncBuffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -2,7 +2,10 @@ package linkreversal_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 
 	lr "linkreversal"
 )
@@ -79,6 +82,65 @@ func ExampleNewRouter() {
 	}
 	fmt.Printf("node 4 partitioned=%v\n", part)
 	// Output: node 4 partitioned=true
+}
+
+// ExampleNetworkSnapshot_RouteFrom routes over a lock-free epoch snapshot
+// of a live network: one atomic load, then an O(path) walk down strictly
+// decreasing heights.
+func ExampleNetworkSnapshot_RouteFrom() {
+	network, err := lr.NewDynamicNetwork(lr.GoodChain(6))
+	if err != nil {
+		panic(err)
+	}
+	defer network.Stop()
+	if err := network.AwaitQuiescence(); err != nil {
+		panic(err)
+	}
+	snap := network.ReadSnapshot() // never nil; immutable under churn
+	path, ok := snap.RouteFrom(5, 0, snap.NumNodes())
+	fmt.Printf("path=%v ok=%v quiescent=%v\n", path, ok, snap.Quiescent)
+	// Output: path=[5 4 3 2 1 0] ok=true quiescent=true
+}
+
+// ExampleServe boots the HTTP routing service over a live network and
+// queries a route while the protocol keeps running underneath.
+func ExampleServe() {
+	network, err := lr.NewDynamicNetwork(lr.GoodChain(5))
+	if err != nil {
+		panic(err)
+	}
+	defer network.Stop()
+	if err := network.AwaitQuiescence(); err != nil {
+		panic(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- lr.Serve(ctx, l, network, lr.ServeConfig{Topology: "chain"}) }()
+
+	resp, err := http.Get("http://" + l.Addr().String() + "/route/4")
+	if err != nil {
+		panic(err)
+	}
+	var route struct {
+		Hops int         `json:"hops"`
+		Path []lr.NodeID `json:"path"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&route); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("hops=%d path=%v\n", route.Hops, route.Path)
+
+	cancel() // graceful drain
+	if err := <-done; err != nil {
+		panic(err)
+	}
+	// Output: hops=4 path=[4 3 2 1 0]
 }
 
 // ExampleNewMutexManager serves two critical-section requests.

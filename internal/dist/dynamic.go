@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"linkreversal/internal/bitset"
 	"linkreversal/internal/core"
@@ -109,6 +110,23 @@ type DynamicNetwork struct {
 	inj *faults.Injector
 	be  dynBackend
 
+	// pub is the epoch-snapshot publication slot: an immutable *Snapshot
+	// swapped in atomically (RCU-style) by the serialized control plane, so
+	// ReadSnapshot is a single atomic load that never touches ctl or mu.
+	// epoch counts publications; pubSteps/pubMessages/pubTopoVer remember
+	// the state fingerprint of the last publication so a re-publication of
+	// an unchanged state is skipped (which is what keeps the clean-path
+	// AwaitQuiescence allocation-free). topoVer is bumped by every
+	// control-plane mutation that changes snapshot content without
+	// necessarily moving the step counters. All except pub are guarded by
+	// mu; pub is written under mu and read lock-free.
+	pub         atomic.Pointer[Snapshot]
+	epoch       uint64
+	topoVer     uint64
+	pubSteps    int
+	pubMessages int
+	pubTopoVer  uint64
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -199,6 +217,15 @@ func NewDynamicNetworkWith(topo *workload.Topology, opts DynOptions) (*DynamicNe
 		d.be = newDynGoBackend(d, states)
 	}
 	d.be.start()
+	// Publish the initial state as epoch 1 so ReadSnapshot never returns
+	// nil, then start the cadence publisher if one was configured.
+	d.mu.Lock()
+	d.publishLocked()
+	d.mu.Unlock()
+	if opts.PublishEvery > 0 {
+		d.wg.Add(1)
+		go d.publisher(opts.PublishEvery)
+	}
 	return d, nil
 }
 
@@ -361,6 +388,7 @@ func (d *DynamicNetwork) AddLink(u, v graph.NodeID) error {
 	d.degIncLocked(e.U)
 	d.degIncLocked(e.V)
 	d.adjDirty = true
+	d.topoVer++
 	d.raiseCeilingLocked()
 	var erase []dynMsg
 	if d.cutCount+d.detectedCount > 0 && d.inflight == 0 {
@@ -414,6 +442,7 @@ func (d *DynamicNetwork) FailLink(u, v graph.NodeID) error {
 	d.degDecLocked(e.U)
 	d.degDecLocked(e.V)
 	d.adjDirty = true
+	d.topoVer++
 	d.inflight += 2
 	d.mu.Unlock()
 	d.inject(dynMsg{Kind: dynLinkDown, To: u, Peer: v})
@@ -448,6 +477,7 @@ func (d *DynamicNetwork) AddNode() (graph.NodeID, error) {
 	d.inR.Grow(d.n)
 	d.depth = append(d.depth, 0)
 	d.adjCache = append(d.adjCache, nil)
+	d.topoVer++
 	st := &dynState{net: d, id: id, h: d.heights[id]}
 	d.mu.Unlock()
 	d.be.addNode(st)
@@ -499,6 +529,7 @@ func (d *DynamicNetwork) RemoveNode(u graph.NodeID) error {
 		d.suspendedCount--
 	}
 	d.adjDirty = true
+	d.topoVer++
 	d.inflight += 1 + len(links)
 	d.mu.Unlock()
 	d.inject(dynMsg{Kind: dynRemove, To: u})
@@ -642,6 +673,7 @@ func (d *DynamicNetwork) eraseLocked() []dynMsg {
 	if members == 0 {
 		return nil
 	}
+	d.topoVer++
 	// Layer assignment: multi-source BFS from the region's frontier.
 	q := d.queue[:0]
 	for u := d.inR.NextSet(0); u >= 0; u = d.inR.NextSet(u + 1) {
@@ -742,9 +774,11 @@ func (d *DynamicNetwork) AwaitQuiescence() error {
 		if d.suspendedCount == 0 && d.detectedCount == 0 && d.cutCount == 0 &&
 			d.zeroDeg == 0 && !d.everCrashed {
 			d.raiseCeilingLocked()
+			d.publishLocked()
 			return nil
 		}
 		if cut := d.cutLocked(); len(cut) > 0 {
+			d.publishLocked()
 			return &PartitionError{Cut: cut}
 		}
 		if d.cutCount+d.detectedCount > 0 {
@@ -784,6 +818,7 @@ func (d *DynamicNetwork) AwaitQuiescence() error {
 			}
 		}
 		d.raiseCeilingLocked()
+		d.publishLocked()
 		return nil
 	}
 }
@@ -807,6 +842,22 @@ func (d *DynamicNetwork) Stop() {
 // consistent global states; snapshots taken mid-flight are a coherent view
 // of the mirrors but may predate in-flight updates.
 type Snapshot struct {
+	// Epoch numbers the publication that produced this snapshot: 0 for a
+	// snapshot returned by Snapshot() (a direct read, not a publication),
+	// and a strictly increasing positive value for snapshots obtained from
+	// ReadSnapshot/PublishSnapshot. Two reads returning the same epoch saw
+	// the very same immutable state.
+	Epoch uint64
+	// Quiescent records whether no message was in flight at capture time.
+	// A quiescent snapshot of a connected component is destination-oriented
+	// within it, so RouteFrom succeeds from every connected node.
+	Quiescent bool
+	// Cut lists the live nodes that had no path to the destination at
+	// capture time, ascending. It is computed only when the network carried
+	// a partition signal (reference-level detection, a ceiling park, a
+	// zero-degree node or a crash) — on the clean path it is nil without
+	// any reachability scan.
+	Cut []graph.NodeID
 	// Steps, Messages and TotalReversals are cumulative since the network
 	// started.
 	Steps          int
@@ -827,14 +878,26 @@ type Snapshot struct {
 	dead    []bool
 }
 
+// NumNodes returns the number of node slots in the snapshot (including
+// removed nodes, which Removed reports).
+func (s *Snapshot) NumNodes() int { return len(s.Heights) }
+
 // Snapshot captures the network's current global state. Between churn
 // events the sorted adjacency is served from a cache, so repeated
 // snapshots cost O(n) copies, not O(E log E) sorts under mu.
 func (d *DynamicNetwork) Snapshot() *Snapshot {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+// snapshotLocked builds an immutable snapshot of the current state.
+// Callers must hold mu. The snapshot aliases adjCache (rebuilt fresh after
+// churn, so earlier snapshots stay valid) and copies everything else.
+func (d *DynamicNetwork) snapshotLocked() *Snapshot {
 	d.rebuildAdjLocked()
 	s := &Snapshot{
+		Quiescent:      d.inflight == 0,
 		Steps:          d.stats.Steps,
 		Messages:       d.stats.Messages,
 		TotalReversals: d.stats.TotalReversals,
@@ -848,11 +911,104 @@ func (d *DynamicNetwork) Snapshot() *Snapshot {
 	for u := d.dead.NextSet(0); u >= 0; u = d.dead.NextSet(u + 1) {
 		s.dead[u] = true
 	}
+	if d.suspendedCount+d.detectedCount+d.cutCount+d.zeroDeg > 0 || d.everCrashed {
+		// Same gate as AwaitQuiescence's clean path: only a partition
+		// signal justifies the O(n+E) reachability scan. Unlike cutLocked
+		// this leaves the heal-time cut marks untouched.
+		d.computeReachLocked()
+		for u := 0; u < d.n; u++ {
+			if !d.dead.Test(u) && !d.reach.Test(u) {
+				s.Cut = append(s.Cut, graph.NodeID(u))
+			}
+		}
+	}
 	if d.inj != nil {
 		fs := d.inj.Snapshot()
 		s.Drops, s.Dups, s.Held = fs.Drops, fs.Dups, fs.Held
 	}
 	return s
+}
+
+// publishLocked publishes the current state as a fresh epoch, unless the
+// state fingerprint (step and message counters plus the control plane's
+// topology version) is unchanged since the last publication — republishing
+// an identical state would spend allocations to hand readers a snapshot
+// they already hold. Callers must hold mu.
+func (d *DynamicNetwork) publishLocked() *Snapshot {
+	if d.pubTopoVer == d.topoVer && d.pubSteps == d.stats.Steps &&
+		d.pubMessages == d.stats.Messages {
+		// Still republish a quiescent state over a non-quiescent
+		// publication of the same fingerprint: topologies that stabilize
+		// without any step (a chain born oriented) would otherwise never
+		// publish a Quiescent snapshot.
+		if s := d.pub.Load(); s != nil && (s.Quiescent || d.inflight > 0) {
+			return s
+		}
+	}
+	s := d.snapshotLocked()
+	d.epoch++
+	s.Epoch = d.epoch
+	d.pubSteps = s.Steps
+	d.pubMessages = s.Messages
+	d.pubTopoVer = d.topoVer
+	d.pub.Store(s)
+	return s
+}
+
+// ReadSnapshot returns the most recently published epoch snapshot: one
+// atomic pointer load, no locks, no allocation — the serving read path.
+// The snapshot is immutable; a reader may hold it across any amount of
+// concurrent churn and keep seeing the consistent (if stale) state it was
+// published from. A snapshot of the initial state is published at
+// construction, so ReadSnapshot never returns nil.
+//
+// Publications happen at quiescence (every AwaitQuiescence that returns
+// nil or a *PartitionError publishes first), on the PublishEvery cadence
+// when one is configured, and on explicit PublishSnapshot calls.
+func (d *DynamicNetwork) ReadSnapshot() *Snapshot { return d.pub.Load() }
+
+// PublishSnapshot captures the current state and publishes it as the new
+// epoch, returning the published snapshot. Unlike the cadence publisher it
+// does not wait for quiescence: a mid-flight publication is a coherent
+// copy of the mirrors (heights still totally order the nodes, so derived
+// orientations are acyclic) but may not be destination-oriented yet.
+func (d *DynamicNetwork) PublishSnapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.publishLocked()
+}
+
+// Quiescent reports whether no message was in flight at the instant of
+// the call. It takes the state lock briefly; use ReadSnapshot().Quiescent
+// for a lock-free (published-state) view.
+func (d *DynamicNetwork) Quiescent() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inflight == 0
+}
+
+// publisher is the cadence loop behind DynOptions.PublishEvery: every
+// tick it publishes the current state if — and only if — the network is
+// momentarily quiescent. Gating on quiescence is what gives readers the
+// epoch-snapshot contract (every published orientation routes every
+// connected node); a network kept permanently busy by churn is published
+// by its AwaitQuiescence calls instead.
+func (d *DynamicNetwork) publisher(every time.Duration) {
+	defer d.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.mu.Lock()
+			if !d.stopped && d.inflight == 0 {
+				d.publishLocked()
+			}
+			d.mu.Unlock()
+		}
+	}
 }
 
 // Links returns the snapshot's live neighbours of u in ascending order.
@@ -874,10 +1030,19 @@ func (s *Snapshot) Removed(u graph.NodeID) bool {
 // order the nodes, so the walk is loop-free by construction; at quiescence
 // it reaches the destination from every node in its component.
 func (s *Snapshot) RouteFrom(src, dst graph.NodeID, maxHops int) ([]graph.NodeID, bool) {
+	return s.RouteInto(src, dst, maxHops, nil)
+}
+
+// RouteInto is RouteFrom writing the path into buf (reused from its start,
+// grown as needed). With a buffer of capacity ≥ path length the walk
+// allocates nothing — the contract of the serving read path, pinned by a
+// testing.AllocsPerRun regression test. The returned slice aliases buf's
+// backing array when it fits.
+func (s *Snapshot) RouteInto(src, dst graph.NodeID, maxHops int, buf []graph.NodeID) ([]graph.NodeID, bool) {
 	if int(src) < 0 || int(src) >= len(s.adj) || int(dst) < 0 || int(dst) >= len(s.adj) {
 		return nil, false
 	}
-	path := []graph.NodeID{src}
+	path := append(buf[:0], src)
 	cur := src
 	for hops := 0; hops <= maxHops; hops++ {
 		if cur == dst {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"linkreversal/internal/faults"
 )
@@ -271,6 +272,14 @@ type DynOptions struct {
 	// structurally, and loss is repaired by sender-side retransmission
 	// under the injector's fair-loss bound.
 	Adversary *faults.Adversary
+	// PublishEvery, when positive, starts a cadence publisher that
+	// refreshes the epoch read snapshot (DynamicNetwork.ReadSnapshot)
+	// whenever the network is momentarily quiescent at a tick. Zero means
+	// snapshots are published only at construction, at every quiescent
+	// AwaitQuiescence return, and on explicit PublishSnapshot calls. A
+	// long-running serving deployment under continuous churn wants a
+	// cadence in the tens of milliseconds; batch runs want zero.
+	PublishEvery time.Duration
 }
 
 // withDefaults validates o and fills in the defaults for zero fields.
@@ -300,6 +309,9 @@ func (o DynOptions) withDefaults() (DynOptions, error) {
 	}
 	if o.MailboxCap == 0 {
 		o.MailboxCap = defaultMailboxCap
+	}
+	if o.PublishEvery < 0 {
+		return o, fmt.Errorf("%w: publish cadence %v", ErrBadOption, o.PublishEvery)
 	}
 	if o.Adversary != nil {
 		if err := o.Adversary.Validate(); err != nil {

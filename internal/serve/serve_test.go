@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"linkreversal/internal/dist"
+	"linkreversal/internal/graph"
+	"linkreversal/internal/workload"
+)
+
+// newTestServer boots a chain network of n nodes behind an httptest server.
+func newTestServer(t *testing.T, n int) (*dist.DynamicNetwork, *httptest.Server) {
+	t.Helper()
+	net, err := dist.NewDynamicNetwork(workload.GoodChain(n))
+	if err != nil {
+		t.Fatalf("NewDynamicNetwork: %v", err)
+	}
+	t.Cleanup(func() { net.Stop() })
+	if err := net.AwaitQuiescence(); err != nil {
+		t.Fatalf("AwaitQuiescence: %v", err)
+	}
+	srv := New(net, Config{Topology: "chain", Engine: "goroutine-per-node", Scenario: "reliable", Seed: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return net, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+
+	var rr routeResponse
+	if code := getJSON(t, ts.URL+"/route/7", &rr); code != http.StatusOK {
+		t.Fatalf("GET /route/7 = %d", code)
+	}
+	if rr.Src != 7 || rr.Dst != 0 {
+		t.Errorf("route src=%d dst=%d, want 7->0", rr.Src, rr.Dst)
+	}
+	if rr.Hops != len(rr.Path)-1 || rr.Path[0] != 7 || rr.Path[len(rr.Path)-1] != 0 {
+		t.Errorf("inconsistent path %v (hops %d)", rr.Path, rr.Hops)
+	}
+	if rr.Epoch == 0 {
+		t.Error("published snapshot must carry a nonzero epoch")
+	}
+
+	// Routing to a custom destination walks the same snapshot.
+	if code := getJSON(t, ts.URL+"/route/7?dst=3", &rr); code != http.StatusOK {
+		t.Fatalf("GET /route/7?dst=3 = %d", code)
+	}
+	if rr.Dst != 3 || rr.Path[len(rr.Path)-1] != 3 {
+		t.Errorf("custom-dst path %v", rr.Path)
+	}
+
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/route/banana", &e); code != http.StatusBadRequest {
+		t.Errorf("non-numeric src = %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/route/99", &e); code != http.StatusNotFound {
+		t.Errorf("unknown src = %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/route/3?dst=oops", &e); code != http.StatusBadRequest {
+		t.Errorf("bad dst = %d, want 400", code)
+	}
+}
+
+func TestOrientationEndpoint(t *testing.T) {
+	net, ts := newTestServer(t, 6)
+
+	var or orientationResponse
+	if code := getJSON(t, ts.URL+"/orientation", &or); code != http.StatusOK {
+		t.Fatalf("GET /orientation = %d", code)
+	}
+	if or.N != 6 || or.Dest != 0 || !or.Quiescent {
+		t.Errorf("orientation header: n=%d dest=%d quiescent=%v", or.N, or.Dest, or.Quiescent)
+	}
+	if len(or.Edges) != 5 {
+		t.Fatalf("chain of 6 has 5 edges, got %d", len(or.Edges))
+	}
+	// Quiescent chain: every edge points toward the destination, so each
+	// [from,to] pair has to == from-1.
+	for _, e := range or.Edges {
+		if e[1] != e[0]-1 {
+			t.Errorf("edge %v not destination-oriented on a quiescent chain", e)
+		}
+	}
+	// Orientation must agree with the directly captured snapshot.
+	if snap := net.ReadSnapshot(); uint64(or.Epoch) != snap.Epoch {
+		t.Errorf("orientation epoch %d, ReadSnapshot epoch %d", or.Epoch, snap.Epoch)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 5)
+
+	var st statusResponse
+	if code := getJSON(t, ts.URL+"/status", &st); code != http.StatusOK {
+		t.Fatalf("GET /status = %d", code)
+	}
+	if st.N != 5 || st.Dest != 0 || !st.Quiescent || st.Partitioned {
+		t.Errorf("status %+v", st)
+	}
+	if st.Config.Topology != "chain" || st.Config.Engine != "goroutine-per-node" {
+		t.Errorf("config echo %+v", st.Config)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Error("uptime must be positive")
+	}
+}
+
+func TestLinksEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 6)
+
+	// A chord 5-0 plus an await publishes a fresh epoch with a 1-hop route.
+	var lr linksResponse
+	if code := postJSON(t, ts.URL+"/links", linksRequest{Add: [][2]graph.NodeID{{5, 0}}}, &lr); code != http.StatusOK {
+		t.Fatalf("POST /links = %d (%+v)", code, lr)
+	}
+	if lr.Applied != 1 {
+		t.Fatalf("applied %d, want 1", lr.Applied)
+	}
+	var cr map[string]any
+	if code := postJSON(t, ts.URL+"/churn", []churnOp{{Op: "await"}}, &cr); code != http.StatusOK {
+		t.Fatalf("churn await = %d", code)
+	}
+	var rr routeResponse
+	if code := getJSON(t, ts.URL+"/route/5", &rr); code != http.StatusOK || rr.Hops != 1 {
+		t.Fatalf("route after chord: code %d hops %d path %v", code, rr.Hops, rr.Path)
+	}
+
+	// Re-adding the same link is a per-op error and a 409 overall.
+	if code := postJSON(t, ts.URL+"/links", linksRequest{Add: [][2]graph.NodeID{{5, 0}}}, &lr); code != http.StatusConflict {
+		t.Fatalf("duplicate add = %d, want 409", code)
+	}
+	if lr.Applied != 0 || len(lr.Errors) != 1 {
+		t.Errorf("duplicate add response %+v", lr)
+	}
+
+	resp, err := http.Post(ts.URL+"/links", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestChurnScriptGrowsNetwork(t *testing.T) {
+	_, ts := newTestServer(t, 4)
+
+	var cr struct {
+		Results []churnResult `json:"results"`
+	}
+	script := []churnOp{
+		{Op: "add-node"},
+		{Op: "add-link", U: 4, V: 0},
+		{Op: "await"},
+	}
+	if code := postJSON(t, ts.URL+"/churn", script, &cr); code != http.StatusOK {
+		t.Fatalf("churn = %d (%+v)", code, cr)
+	}
+	if cr.Results[0].Node != 4 {
+		t.Fatalf("minted node %d, want 4", cr.Results[0].Node)
+	}
+	var rr routeResponse
+	if code := getJSON(t, ts.URL+"/route/4", &rr); code != http.StatusOK {
+		t.Fatalf("route from new node = %d", code)
+	}
+
+	// An unknown op fails the script without aborting later ops.
+	script = []churnOp{{Op: "frobnicate"}, {Op: "await"}}
+	if code := postJSON(t, ts.URL+"/churn", script, &cr); code != http.StatusConflict {
+		t.Errorf("unknown op = %d, want 409", code)
+	}
+	if cr.Results[0].Error == "" || cr.Results[1].Error != "" {
+		t.Errorf("unknown-op results %+v", cr.Results)
+	}
+}
+
+func TestChurnPartitionIsReportNotFailure(t *testing.T) {
+	_, ts := newTestServer(t, 6)
+
+	var cr struct {
+		Results []churnResult `json:"results"`
+	}
+	script := []churnOp{{Op: "fail-link", U: 2, V: 3}, {Op: "await"}}
+	if code := postJSON(t, ts.URL+"/churn", script, &cr); code != http.StatusOK {
+		t.Fatalf("partitioning churn = %d, want 200 (partition is a report)", code)
+	}
+	if cr.Results[1].Error == "" {
+		t.Error("await over a partition should carry the partition report")
+	}
+
+	var st statusResponse
+	getJSON(t, ts.URL+"/status", &st)
+	if !st.Partitioned || len(st.Cut) != 3 {
+		t.Errorf("status after cut: partitioned=%v cut=%v", st.Partitioned, st.Cut)
+	}
+	// The cut side routes nowhere; the destination side still routes.
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/route/5", &e); code != http.StatusNotFound {
+		t.Errorf("route from cut side = %d, want 404", code)
+	}
+	var rr routeResponse
+	if code := getJSON(t, ts.URL+"/route/2", &rr); code != http.StatusOK {
+		t.Errorf("route from dest side = %d, want 200", code)
+	}
+}
+
+func TestRouteAfterNodeRemoval(t *testing.T) {
+	_, ts := newTestServer(t, 5)
+
+	var cr map[string]any
+	script := []churnOp{
+		{Op: "add-link", U: 3, V: 0}, // keep 3 connected once 4 goes
+		{Op: "remove-node", U: 4},
+		{Op: "await"},
+	}
+	if code := postJSON(t, ts.URL+"/churn", script, &cr); code != http.StatusOK {
+		t.Fatalf("removal churn = %d (%v)", code, cr)
+	}
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/route/4", &e); code != http.StatusNotFound {
+		t.Errorf("route from removed node = %d, want 404", code)
+	}
+	if e["error"] == "" {
+		t.Error("removal 404 should explain itself")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 5)
+
+	// Generate some traffic first so the counters exist.
+	var rr routeResponse
+	getJSON(t, ts.URL+"/route/4", &rr)
+	var e map[string]string
+	getJSON(t, ts.URL+"/route/banana", &e)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	for _, line := range []string{
+		`lrd_requests_total{endpoint="route",class="2xx"} 1`,
+		`lrd_requests_total{endpoint="route",class="4xx"} 1`,
+		`lrd_request_duration_seconds_bucket{endpoint="route",le="+Inf"} 2`,
+		"# TYPE lrd_request_duration_seconds histogram",
+		"lrd_epoch ",
+		"lrd_nodes 5",
+		"lrd_quiescent 1",
+		"lrd_steps_total",
+		"lrd_uptime_seconds",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, 3)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, 3)
+	resp, err := http.Post(ts.URL+"/status", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /status = %d, want 405", resp.StatusCode)
+	}
+}

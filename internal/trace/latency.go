@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"slices"
+	"sync"
+	"time"
+)
+
+// LatencyProfile collects request latencies and reports rank quantiles —
+// the measurement side of the serving experiments (the E13 table): lrload
+// hammers lrd's /route endpoint and folds every worker's observations into
+// one profile whose p50/p99/p999 become table cells.
+//
+// Record is safe for concurrent use; for hot loops prefer one profile per
+// worker and a final Merge, which keeps the workers lock-disjoint. The
+// profile retains every sample (8 bytes each), so rank quantiles are exact
+// rather than sketched; a million-request run costs 8 MB, which is the
+// right trade for a load driver that wants trustworthy tails.
+type LatencyProfile struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// Record adds one observation.
+func (p *LatencyProfile) Record(d time.Duration) {
+	p.mu.Lock()
+	p.samples = append(p.samples, d)
+	p.sorted = false
+	p.mu.Unlock()
+}
+
+// Merge folds o's samples into p. o is left untouched.
+func (p *LatencyProfile) Merge(o *LatencyProfile) {
+	o.mu.Lock()
+	samples := append([]time.Duration(nil), o.samples...)
+	o.mu.Unlock()
+	p.mu.Lock()
+	p.samples = append(p.samples, samples...)
+	p.sorted = false
+	p.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (p *LatencyProfile) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.samples)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by the nearest-rank method:
+// the smallest recorded value such that at least q·count observations are
+// ≤ it. Quantile(0) is the minimum, Quantile(1) the maximum; an empty
+// profile reports 0.
+func (p *LatencyProfile) Quantile(q float64) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.samples)
+	if n == 0 {
+		return 0
+	}
+	if !p.sorted {
+		slices.Sort(p.samples)
+		p.sorted = true
+	}
+	if q <= 0 {
+		return p.samples[0]
+	}
+	rank := int(float64(n)*q+0.5) - 1 // nearest rank, 0-indexed
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return p.samples[rank]
+}
+
+// Max returns the largest recorded observation (0 when empty).
+func (p *LatencyProfile) Max() time.Duration { return p.Quantile(1) }

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyQuantilesExact(t *testing.T) {
+	var p LatencyProfile
+	// 1..100 ms, recorded shuffled-ish (reverse order).
+	for i := 100; i >= 1; i-- {
+		p.Record(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{0.5, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{0.999, 100 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	} {
+		if got := p.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if p.Count() != 100 {
+		t.Errorf("Count = %d, want 100", p.Count())
+	}
+	if p.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v", p.Max())
+	}
+}
+
+func TestLatencyEmptyProfile(t *testing.T) {
+	var p LatencyProfile
+	if p.Quantile(0.5) != 0 || p.Count() != 0 || p.Max() != 0 {
+		t.Error("empty profile should report zeros")
+	}
+}
+
+func TestLatencyRecordAfterQuantile(t *testing.T) {
+	var p LatencyProfile
+	p.Record(2 * time.Millisecond)
+	if p.Quantile(1) != 2*time.Millisecond {
+		t.Fatal("first quantile wrong")
+	}
+	p.Record(time.Millisecond) // must re-sort lazily
+	if got := p.Quantile(0); got != time.Millisecond {
+		t.Errorf("Quantile(0) after late record = %v, want 1ms", got)
+	}
+}
+
+func TestLatencyMergeConcurrent(t *testing.T) {
+	var total LatencyProfile
+	var wg sync.WaitGroup
+	workers := make([]*LatencyProfile, 4)
+	for w := range workers {
+		workers[w] = &LatencyProfile{}
+		wg.Add(1)
+		go func(p *LatencyProfile, base int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				p.Record(time.Duration(base+i) * time.Microsecond)
+			}
+		}(workers[w], w*250)
+	}
+	wg.Wait()
+	for _, w := range workers {
+		total.Merge(w)
+	}
+	if total.Count() != 1000 {
+		t.Fatalf("merged count %d, want 1000", total.Count())
+	}
+	if got := total.Quantile(1); got != 999*time.Microsecond {
+		t.Errorf("merged max %v, want 999µs", got)
+	}
+}

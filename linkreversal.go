@@ -32,6 +32,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	"time"
 
 	"linkreversal/internal/automaton"
 	"linkreversal/internal/core"
@@ -42,6 +45,7 @@ import (
 	"linkreversal/internal/mutex"
 	"linkreversal/internal/routing"
 	"linkreversal/internal/sched"
+	"linkreversal/internal/serve"
 	"linkreversal/internal/trace"
 	"linkreversal/internal/workload"
 )
@@ -167,6 +171,55 @@ func NewDynamicNetwork(topo *Topology) (*DynamicNetwork, error) {
 // backend and fault options (see DynNetOptions).
 func NewDynamicNetworkWith(topo *Topology, opts DynNetOptions) (*DynamicNetwork, error) {
 	return dist.NewDynamicNetworkWith(topo, opts)
+}
+
+// SnapshotReader is the lock-free read plane of a DynamicNetwork: one
+// atomic load returning the most recently published epoch snapshot, safe
+// to call from any number of goroutines while churn runs. It is the
+// narrow dependency to accept in code that only routes and inspects —
+// handlers, monitors, load drivers — and *DynamicNetwork satisfies it.
+type SnapshotReader interface {
+	// ReadSnapshot returns the current published snapshot; never nil.
+	ReadSnapshot() *NetworkSnapshot
+}
+
+// ServeConfig carries the deployment provenance the routing service echoes
+// from GET /status — topology name, engine, shard layout, fault scenario
+// and seed — so load drivers can stamp measurements with the exact
+// configuration they hit.
+type ServeConfig = serve.Config
+
+// RouteServer is the HTTP serving layer over a DynamicNetwork: lock-free
+// snapshot reads on GET /route/{src}, /orientation, /status and /metrics
+// (Prometheus text format), and control-plane writes on POST /links and
+// /churn. It implements http.Handler; see the serve package for endpoint
+// documentation and docs/OPERATIONS.md for the operator guide.
+type RouteServer = serve.Server
+
+// NewRouteServer builds the HTTP serving layer over a running network.
+// The network stays owned by the caller (including Stop).
+func NewRouteServer(network *DynamicNetwork, cfg ServeConfig) *RouteServer {
+	return serve.New(network, cfg)
+}
+
+// Serve runs the routing service over network on l until ctx is cancelled
+// (returning nil after a graceful drain) or the server fails. The caller
+// keeps ownership of both the listener's address choice and the network's
+// lifecycle; Serve closes l.
+func Serve(ctx context.Context, l net.Listener, network *DynamicNetwork, cfg ServeConfig) error {
+	srv := &http.Server{Handler: NewRouteServer(network, cfg)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		<-errc // always http.ErrServerClosed after Shutdown
+		return err
+	case err := <-errc:
+		return err
+	}
 }
 
 // ExportDOT renders an orientation in Graphviz DOT format, highlighting the
