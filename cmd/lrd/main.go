@@ -7,12 +7,19 @@
 //
 //	lrd -addr 127.0.0.1:8080 -topo grid -n 10000 \
 //	    [-engine sharded] [-shards 8] [-partition locality] \
-//	    [-faults flaky] [-seed 1] [-publish 25ms]
+//	    [-faults flaky] [-seed 1] [-publish 25ms] \
+//	    [-log-level info] [-pprof] [-flightrec] [-flightrec-sample 1]
 //
-// The daemon stabilizes the initial topology, prints one
-// "lrd: listening on http://HOST:PORT" line once the socket is bound, and
-// serves until SIGINT/SIGTERM, then drains gracefully. See
-// docs/OPERATIONS.md for the endpoint and metrics reference.
+// The daemon logs through log/slog (text handler, -log-level selects the
+// threshold), stabilizes the initial topology, emits one
+// `msg=listening url=http://HOST:PORT` record once the socket is bound,
+// and serves until SIGINT/SIGTERM, then drains gracefully. With -flightrec
+// the engine observer is armed: per-shard telemetry joins /metrics and
+// /debug/vars, the protocol flight recorder serves /debug/events and
+// /debug/trace, and SIGQUIT dumps a Chrome trace-event file next to the
+// daemon while it keeps serving. -pprof mounts net/http/pprof under
+// /debug/pprof/. See docs/OPERATIONS.md for the endpoint and metrics
+// reference.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net"
 	"os"
@@ -121,10 +129,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		faultName = fs.String("faults", "none", "fault scenario: none, lossy, flaky, adversarial")
 		seed      = fs.Int64("seed", 1, "seed for random topologies and the fault adversary")
 		publish   = fs.Duration("publish", 25*time.Millisecond, "epoch snapshot cadence (0 = publish only at quiescence)")
+		logLevel  = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		flightrec = fs.Bool("flightrec", false, "arm the engine flight recorder: per-shard telemetry on /metrics and /debug/vars, protocol events on /debug/events, Chrome traces on /debug/trace and SIGQUIT")
+		frSample  = fs.Int("flightrec-sample", 1, "flight recorder sampling: record every k-th event (deterministic in -seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(out, &slog.HandlerOptions{Level: level}))
 	engine, err := parseEngine(*engName)
 	if err != nil {
 		return err
@@ -141,6 +158,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *frSample < 1 {
+		return fmt.Errorf("bad -flightrec-sample %d: want >= 1", *frSample)
+	}
+
+	var observer *lr.EngineObserver
+	if *flightrec {
+		observer = lr.NewEngineObserver()
+		observer.Seed = *seed
+		observer.Sample = *frSample
+		observer.OnDump = func(reason string, events []lr.EngineEvent) {
+			logger.Warn("flight recorder dump", "reason", reason, "events", len(events))
+		}
+	}
 
 	network, err := lr.NewDynamicNetworkWith(topo, lr.DynNetOptions{
 		Engine:       engine,
@@ -148,6 +178,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Partition:    partition,
 		Adversary:    adversary,
 		PublishEvery: *publish,
+		Observer:     observer,
 	})
 	if err != nil {
 		return err
@@ -158,18 +189,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := network.AwaitQuiescence(); err != nil {
 		// A partition in the initial topology is a servable state — the
 		// snapshot names the cut — so report it and serve anyway.
-		fmt.Fprintf(out, "lrd: initial topology partitioned: %v\n", err)
+		logger.Warn("initial topology partitioned", "err", err)
 	}
-	fmt.Fprintf(out, "lrd: %s stabilized in %v (%d nodes, engine %s, faults %s)\n",
-		topo.Name, time.Since(start).Round(time.Millisecond),
-		topo.Graph.NumNodes(), engine, scenarioName(adversary))
+	logger.Info("stabilized",
+		"topology", topo.Name,
+		"elapsed", time.Since(start).Round(time.Millisecond),
+		"nodes", topo.Graph.NumNodes(),
+		"engine", engine,
+		"faults", scenarioName(adversary))
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "lrd: listening on http://%s\n", l.Addr())
+	logger.Info("listening", "url", "http://"+l.Addr().String())
 
+	if observer != nil {
+		go dumpOnSIGQUIT(ctx, logger, observer)
+	}
 	cfg := lr.ServeConfig{
 		Topology:       topo.Name,
 		Engine:         engine.String(),
@@ -178,8 +215,56 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Scenario:       scenarioName(adversary),
 		Seed:           *seed,
 		PublishEveryMS: publish.Milliseconds(),
+		Observer:       observer,
+		Pprof:          *pprofOn,
 	}
 	return lr.Serve(ctx, l, network, cfg)
+}
+
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (debug, info, warn, error)", s)
+	}
+}
+
+// dumpOnSIGQUIT writes the flight recorder to a Chrome trace-event file on
+// every SIGQUIT until ctx is cancelled — the classic "dump your state"
+// signal, usable while the daemon keeps serving.
+func dumpOnSIGQUIT(ctx context.Context, logger *slog.Logger, observer *lr.EngineObserver) {
+	qc := make(chan os.Signal, 1)
+	signal.Notify(qc, syscall.SIGQUIT)
+	defer signal.Stop(qc)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-qc:
+			path := fmt.Sprintf("lrd-trace-%d.json", time.Now().Unix())
+			f, err := os.Create(path)
+			if err != nil {
+				logger.Error("flight recorder dump failed", "err", err)
+				continue
+			}
+			err = observer.ChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				logger.Error("flight recorder dump failed", "path", path, "err", err)
+				continue
+			}
+			logger.Info("flight recorder dumped", "path", path, "events", len(observer.Events(0)))
+		}
+	}
 }
 
 func scenarioName(a *lr.NetworkAdversary) string {

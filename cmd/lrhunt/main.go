@@ -120,8 +120,8 @@ func render(rep *hunt.Report) {
 			ev.Skew, ev.Candidate.Engine, ev.Candidate.Genome.Scenario())
 	}
 	for i, r := range rep.Reproducers {
-		fmt.Printf("BREACH %d: %s (shrunk to %s n=%d, %d shrink runs, witness %d)\n",
-			i, r.Breaches[0], r.Topo.Kind, r.Topo.N, r.ShrinkRuns, r.WitnessLen)
+		fmt.Printf("BREACH %d: %s (shrunk to %s n=%d, %d shrink runs, witness %d, %d recorded events)\n",
+			i, r.Breaches[0], r.Topo.Kind, r.Topo.N, r.ShrinkRuns, r.WitnessLen, len(r.Events))
 	}
 }
 

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	lrload -addr 127.0.0.1:8080 -requests 20000 -workers 8 \
-//	       [-churn] [-seed 1] [-max-p99 50ms] [-json]
+//	       [-churn] [-seed 1] [-max-p99 50ms] [-json] [-trace trace.json]
+//
+// With -trace FILE the driver fetches the server's /debug/trace export
+// after the load completes (lrd must be running with -flightrec), saving a
+// Perfetto-loadable Chrome trace of what the load did to the engine.
 //
 // The driver reads n, the destination and the deployment provenance from
 // GET /status, excludes nodes the snapshot reports as cut off, and treats
@@ -72,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		churn    = fs.Bool("churn", false, "flap lrload-owned chord links during the run")
 		maxP99   = fs.Duration("max-p99", 0, "fail if route p99 exceeds this (0 = no bound)")
 		jsonOut  = fs.Bool("json", false, "emit the result table as JSON instead of text")
+		traceOut = fs.String("trace", "", "after the run, fetch the server's /debug/trace into this file (requires lrd -flightrec)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,6 +165,15 @@ func run(args []string, out io.Writer) error {
 	close(stop)
 	churnWG.Wait()
 
+	if *traceOut != "" {
+		// Grab the execution trace while the run's events are still in the
+		// recorder's rings — the whole point of -trace is capturing what the
+		// load we just generated did to the engine.
+		if err := fetchTrace(base, *traceOut); err != nil {
+			return fmt.Errorf("fetching /debug/trace: %w", err)
+		}
+	}
+
 	var total trace.LatencyProfile
 	for _, p := range profiles {
 		total.Merge(p)
@@ -247,6 +261,27 @@ func flapChords(base string, n int, seed int64, stop <-chan struct{}, ops *atomi
 			ops.Add(1)
 		}
 	}
+}
+
+// fetchTrace downloads the server's Chrome trace-event export to path.
+func fetchTrace(base, path string) error {
+	resp, err := http.Get(base + "/debug/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/trace: %s (is lrd running with -flightrec?)", resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func getJSON(url string, v any) error {

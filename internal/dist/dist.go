@@ -84,6 +84,7 @@ import (
 	"fmt"
 
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 )
 
 // Algorithm selects the distributed protocol variant executed by Run.
@@ -240,4 +241,10 @@ type Result struct {
 	// paper's per-node bound oracles read off them without a trace replay.
 	NodeSteps     []int64
 	NodeReversals []int64
+	// Shards is the per-shard telemetry snapshot captured when
+	// Options.Observer was armed (nil otherwise): one entry per engine
+	// shard plus a trailing control-plane entry (Shard == -1). Under
+	// GoroutinePerNode all activity lands on shard 0. See obs.ShardStats
+	// for the counter semantics.
+	Shards []obs.ShardStats
 }

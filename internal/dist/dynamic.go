@@ -11,6 +11,7 @@ import (
 	"linkreversal/internal/core"
 	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 	"linkreversal/internal/workload"
 )
 
@@ -198,6 +199,15 @@ func NewDynamicNetworkWith(topo *workload.Topology, opts DynOptions) (*DynamicNe
 	if opts.Adversary != nil {
 		d.inj = faults.NewInjector(opts.Adversary)
 	}
+	if opts.Observer != nil {
+		// One sink per shard plus the control plane; backends pick their
+		// sinks up from opts during construction below.
+		if opts.Engine == Sharded {
+			opts.Observer.Attach(opts.Shards)
+		} else {
+			opts.Observer.Attach(1)
+		}
+	}
 	states := make([]*dynState, n)
 	for u := 0; u < n; u++ {
 		st := &dynState{net: d, id: graph.NodeID(u), h: d.heights[u]}
@@ -279,7 +289,7 @@ func (d *DynamicNetwork) isStopped() bool {
 // extra in-flight tokens, and holdbacks ride in the message for the
 // receiver to requeue. Control traffic bypasses the adversary: the control
 // plane's view of the topology must stay authoritative.
-func (d *DynamicNetwork) fanout(st *dynState, m dynMsg, deliver func(dynMsg)) {
+func (d *DynamicNetwork) fanout(st *dynState, m dynMsg, deliver func(dynMsg), sink *obs.Shard) {
 	if d.inj == nil || m.Kind != dynHeight {
 		deliver(m)
 		return
@@ -290,6 +300,7 @@ func (d *DynamicNetwork) fanout(st *dynState, m dynMsg, deliver func(dynMsg)) {
 		f := d.inj.Judge(link, faults.Msg{Seq: st.seq, Attempt: attempt})
 		if f.Drop {
 			d.retrans.Add(1)
+			sink.Retransmit(st.id, m.To, int64(st.seq))
 			continue
 		}
 		m.Hold = uint8(f.Hold)
@@ -779,6 +790,10 @@ func (d *DynamicNetwork) AwaitQuiescence() error {
 		}
 		if cut := d.cutLocked(); len(cut) > 0 {
 			d.publishLocked()
+			// Surface the flight recorder's tail alongside the partition
+			// report — the events leading up to a cut are exactly what an
+			// operator (or the hunt harness) wants to replay.
+			d.opts.Observer.TriggerDump("partition")
 			return &PartitionError{Cut: cut}
 		}
 		if d.cutCount+d.detectedCount > 0 {
@@ -952,6 +967,7 @@ func (d *DynamicNetwork) publishLocked() *Snapshot {
 	d.pubMessages = s.Messages
 	d.pubTopoVer = d.topoVer
 	d.pub.Store(s)
+	d.opts.Observer.Ctl().Note(obs.EvEpochPublish, d.dest, -1, int64(d.epoch))
 	return s
 }
 

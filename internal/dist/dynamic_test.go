@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 	"linkreversal/internal/workload"
 )
 
@@ -435,3 +436,4 @@ type discardEnv struct{}
 
 func (discardEnv) transmit(*dynState, dynMsg) {}
 func (discardEnv) requeue(*dynState, dynMsg)  {}
+func (discardEnv) sink() *obs.Shard           { return nil }

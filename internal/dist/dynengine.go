@@ -3,8 +3,10 @@ package dist
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 )
 
 // dynBackend is a DynamicNetwork execution engine: it owns the per-node
@@ -32,10 +34,16 @@ type dynGoBackend struct {
 	// senders reach new entries only via messages that causally follow the
 	// publication.
 	tx atomic.Pointer[[]chan dynMsg]
+	// obs is the backend's telemetry sink (the whole backend counts as
+	// shard 0), nil unless DynOptions.Observer is armed. It is shared by
+	// every node goroutine; the sink's atomics and multi-writer ring make
+	// that safe. Busy/idle spans are not measured here — they would time
+	// the Go scheduler, not the protocol.
+	obs *obs.Shard
 }
 
 func newDynGoBackend(net *DynamicNetwork, states []*dynState) *dynGoBackend {
-	return &dynGoBackend{net: net, states: states}
+	return &dynGoBackend{net: net, states: states, obs: net.opts.Observer.Shard(0)}
 }
 
 func (b *dynGoBackend) start() {
@@ -102,8 +110,9 @@ func (b *dynGoBackend) inject(m dynMsg) { b.push(m) }
 // transmit and requeue implement dynEnv. Requeueing is a self-send: the
 // pump always consumes, so it cannot deadlock, and the message lands
 // behind the node's current backlog exactly as the holdback fault wants.
-func (b *dynGoBackend) transmit(st *dynState, m dynMsg) { b.net.fanout(st, m, b.push) }
+func (b *dynGoBackend) transmit(st *dynState, m dynMsg) { b.net.fanout(st, m, b.push, b.obs) }
 func (b *dynGoBackend) requeue(st *dynState, m dynMsg)  { b.push(m) }
+func (b *dynGoBackend) sink() *obs.Shard                { return b.obs }
 
 // dynShardBackend runs the same protocol on a fixed worker pool: nodes are
 // partitioned across shards, each shard owns its nodes' states outright
@@ -136,6 +145,10 @@ type dynShard struct {
 	retired int
 	// initial holds the construction-time states owned by this shard.
 	initial []*dynState
+	// obs is the shard's telemetry sink, nil unless DynOptions.Observer is
+	// armed. Per-message hooks are guarded at the call site so the armed
+	// check stays a single nil comparison on the hot path.
+	obs *obs.Shard
 }
 
 type dynBatch struct {
@@ -162,6 +175,7 @@ func newDynShardBackend(net *DynamicNetwork, states []*dynState) *dynShardBacken
 			out: make([]*dynBatch, nsh),
 			tx:  make(chan *dynBatch, net.opts.MailboxCap),
 			rx:  make(chan *dynBatch),
+			obs: net.opts.Observer.Shard(i), // nil when no observer is armed
 		}
 	}
 	for _, st := range states {
@@ -223,6 +237,12 @@ func (b *dynShardBackend) inject(m dynMsg) {
 func (s *dynShard) loop() {
 	b := s.be
 	defer b.net.wg.Done()
+	// mark anchors the busy/idle span accounting: one clock read per batch,
+	// never per message, so the armed observer stays off the hot path.
+	var mark time.Time
+	if s.obs != nil {
+		mark = time.Now()
+	}
 	for _, st := range s.initial {
 		if st.handle(s, dynMsg{Kind: dynStart, To: st.id}) {
 			s.retired++
@@ -232,10 +252,21 @@ func (s *dynShard) loop() {
 		return
 	}
 	for {
+		if s.obs != nil {
+			now := time.Now()
+			s.obs.Busy(now.Sub(mark))
+			mark = now
+		}
 		select {
 		case <-b.net.stop:
 			return
 		case nb := <-s.rx:
+			if s.obs != nil {
+				now := time.Now()
+				s.obs.Idle(now.Sub(mark))
+				mark = now
+				s.obs.Mailbox(len(s.tx) + 1)
+			}
 			for _, m := range nb.msgs {
 				s.process(m)
 			}
@@ -274,6 +305,10 @@ func (s *dynShard) drain() bool {
 			continue
 		}
 		s.out[d] = nil
+		if s.obs != nil {
+			s.obs.Batch(len(nb.msgs))
+			s.obs.Remote(int64(len(nb.msgs)))
+		}
 		select {
 		case s.be.shards[d].tx <- nb:
 		case <-s.be.net.stop:
@@ -292,17 +327,22 @@ func (s *dynShard) drain() bool {
 // cross-shard traffic accumulates into the per-destination batch flushed
 // at the end of the drain.
 func (s *dynShard) transmit(st *dynState, m dynMsg) {
-	s.be.net.fanout(st, m, s.route)
+	s.be.net.fanout(st, m, s.route, s.obs)
 }
 
 func (s *dynShard) requeue(st *dynState, m dynMsg) {
 	s.local = append(s.local, m)
 }
 
+func (s *dynShard) sink() *obs.Shard { return s.obs }
+
 func (s *dynShard) route(m dynMsg) {
 	d := s.be.shardOf(m.To)
 	if d == s.id {
 		s.local = append(s.local, m)
+		if s.obs != nil {
+			s.obs.RunQueue(len(s.local))
+		}
 		return
 	}
 	nb := s.out[d]

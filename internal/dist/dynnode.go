@@ -5,6 +5,7 @@ import (
 
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 )
 
 // dynEnv is the transport a dynState runs on. The goroutine-per-node
@@ -21,6 +22,10 @@ type dynEnv interface {
 	// token it already carries — the receiver-side holdback of the fault
 	// adversary.
 	requeue(st *dynState, m dynMsg)
+	// sink returns the executor's telemetry sink, nil unless
+	// DynOptions.Observer is armed. The obs.Shard methods are no-ops on a
+	// nil receiver, so protocol code calls them unconditionally.
+	sink() *obs.Shard
 }
 
 // dynState is the protocol state of one DynamicNetwork participant,
@@ -149,6 +154,7 @@ func (st *dynState) commit(env dynEnv, newH DynHeight) bool {
 	net.stats.Messages += len(st.nbrs)
 	net.inflight += len(st.nbrs)
 	net.mu.Unlock()
+	env.sink().Step(st.id, flips)
 	st.parked = false
 	for _, view := range st.nbrs {
 		env.transmit(st, dynMsg{Kind: dynHeight, To: view.id, Peer: st.id, H: newH, Gen: st.gen})
@@ -220,6 +226,7 @@ func (st *dynState) act(env dynEnv) {
 			}) {
 				return
 			}
+			env.sink().Note(obs.EvReflect, st.id, lvl.Oid, int64(lvl.Tau))
 		case same && lvl.R && lvl.Oid == st.id && lvl.Tau == st.definedTau:
 			// Detect: our own level came back reflected from every
 			// neighbour — no route out of this component exists. Park until
@@ -231,6 +238,7 @@ func (st *dynState) act(env dynEnv) {
 				net.detectedCount++
 			}
 			net.mu.Unlock()
+			env.sink().Note(obs.EvPartitionDetect, st.id, lvl.Oid, int64(lvl.Tau))
 			return
 		case same:
 			// Surrounded by a reflected level we did not define (its
@@ -357,6 +365,9 @@ func (st *dynState) handle(env dynEnv, m dynMsg) bool {
 		case dynStart, dynPoke:
 			// Nothing to record; act below re-evaluates.
 		case dynHeight:
+			if s := env.sink(); s != nil {
+				s.Deliver(st.id, m.Peer, int64(m.Gen))
+			}
 			if i, ok := st.nbrs.search(m.Peer); ok {
 				st.nbrs[i] = mergeView(st.nbrs[i], m.H, m.Gen)
 			} else if i, ok := st.pending.search(m.Peer); ok {
@@ -365,6 +376,7 @@ func (st *dynState) handle(env dynEnv, m dynMsg) bool {
 				st.pending.put(nbrView{id: m.Peer, h: m.H, gen: m.Gen, known: true})
 			}
 		case dynLinkUp:
+			env.sink().Note(obs.EvLinkUp, st.id, m.Peer, 0)
 			if _, ok := st.nbrs.search(m.Peer); !ok {
 				view := nbrView{id: m.Peer}
 				if p, ok := st.pending.remove(m.Peer); ok {
@@ -375,6 +387,7 @@ func (st *dynState) handle(env dynEnv, m dynMsg) bool {
 			// Introduce ourselves so the peer can orient the new link.
 			st.introduce(env, m.Peer)
 		case dynLinkDown:
+			env.sink().Note(obs.EvLinkDown, st.id, m.Peer, 0)
 			st.linkDown(env, m.Peer)
 		}
 	}

@@ -262,6 +262,15 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 		c.nodeSteps = make([]int64, n)
 		c.nodeWork = make([]int64, n)
 	}
+	if opts.Observer != nil {
+		// One sink per shard (the goroutine engine counts as one shard);
+		// engines pick their sinks up from opts after Attach.
+		if opts.Engine == Sharded {
+			opts.Observer.Attach(shards)
+		} else {
+			opts.Observer.Attach(1)
+		}
+	}
 	var eng engine
 	switch opts.Engine {
 	case GoroutinePerNode:
@@ -302,11 +311,15 @@ func RunWith(ctx context.Context, in *core.Init, alg Algorithm, opts Options) (*
 	if err != nil {
 		return nil, fmt.Errorf("dist: reassemble final orientation: %w", err)
 	}
-	return &Result{
+	res := &Result{
 		Final:         final,
 		Stats:         c.snapshot(),
 		Trace:         c.trace,
 		NodeSteps:     c.nodeSteps,
 		NodeReversals: c.nodeWork,
-	}, nil
+	}
+	if opts.Observer != nil {
+		res.Shards = opts.Observer.ShardStats()
+	}
+	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"linkreversal/internal/faults"
+	"linkreversal/internal/obs"
 )
 
 // Engine selects the execution engine used by RunWith. The engines differ
@@ -239,6 +240,13 @@ type Options struct {
 	// sequence-numbered ack/retransmit protocol that restores liveness
 	// under loss; see internal/faults and the package documentation.
 	Adversary *faults.Adversary
+	// Observer, when non-nil, arms the engine-deep observability layer:
+	// per-shard telemetry counters (Result.Shards) and the protocol flight
+	// recorder (see internal/obs). RunWith calls Observer.Attach with the
+	// effective shard count, resetting any previous recording. nil — the
+	// default — keeps the engines' sinks nil, so every hook collapses to a
+	// branch and the allocation-free hot path is preserved exactly.
+	Observer *obs.Observer
 }
 
 // DynOptions tunes a DynamicNetwork. The zero value selects the
@@ -280,6 +288,13 @@ type DynOptions struct {
 	// long-running serving deployment under continuous churn wants a
 	// cadence in the tens of milliseconds; batch runs want zero.
 	PublishEvery time.Duration
+	// Observer, when non-nil, arms the engine-deep observability layer for
+	// the dynamic plane: per-shard telemetry, the protocol flight recorder,
+	// and a control-plane track recording epoch publications. The network
+	// calls Observer.Attach at construction and triggers Observer.OnDump
+	// when AwaitQuiescence reports a partition. nil — the default — keeps
+	// every hook a dead branch.
+	Observer *obs.Observer
 }
 
 // withDefaults validates o and fills in the defaults for zero fields.

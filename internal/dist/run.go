@@ -8,6 +8,7 @@ import (
 	"linkreversal/internal/bitset"
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 )
 
 // msgKind distinguishes the transmissions of the reliable-delivery layer.
@@ -393,6 +394,12 @@ type nodeEngine struct {
 	nodes []runNode
 	// tx[u] is the ingress channel of u's mailbox; rx[u] the pump's output.
 	tx, rx []chan reverseMsg
+	// obs is the telemetry sink shared by every node goroutine (the whole
+	// engine counts as shard 0 — its counters are atomics and its ring is
+	// multi-writer, so sharing is safe); nil unless Options.Observer is
+	// armed. Busy/idle spans are not measured here: with one goroutine per
+	// node they would time the Go scheduler, not the engine.
+	obs *obs.Shard
 }
 
 var _ interface {
@@ -412,6 +419,7 @@ func newNodeEngine(c *runCore, in *core.Init, alg Algorithm, opts Options) *node
 		e.tx[u] = make(chan reverseMsg, opts.MailboxCap)
 		e.rx[u] = make(chan reverseMsg)
 	}
+	e.obs = opts.Observer.Shard(0) // nil when no observer is armed
 	return e
 }
 
@@ -422,6 +430,9 @@ func (e *nodeEngine) node(u graph.NodeID) *runNode { return &e.nodes[u] }
 // an adversary armed the per-message credit moves to enqueue, where the
 // actual number of transmissions (copies, acks, nacks) is known.
 func (e *nodeEngine) announce(u graph.NodeID, targets int) {
+	if e.obs != nil {
+		e.obs.Step(u, targets)
+	}
 	if e.c.inj != nil {
 		e.c.record(u, targets, 0, 0)
 		return
@@ -446,9 +457,20 @@ func (e *nodeEngine) deliver(to graph.NodeID, slot int32) {
 // in-flight token and counts one batch.
 func (e *nodeEngine) send(from graph.NodeID, fromSlot int32, to graph.NodeID, toSlot int32, seq uint32, attempt int32, kind msgKind) {
 	f, dropped, notify := e.c.judgeSend(from, to, seq, attempt, kind)
+	if e.obs != nil {
+		switch {
+		case kind == msgAck:
+			e.obs.Ack(from, to, int64(seq))
+		case kind == msgData && attempt > 0:
+			e.obs.Retransmit(from, to, int64(seq))
+		}
+	}
 	if dropped {
 		if notify {
 			e.enqueue(from, reverseMsg{Slot: fromSlot, Seq: seq, Kind: msgNack})
+			if e.obs != nil {
+				e.obs.Nack(from, to, int64(seq))
+			}
 		}
 		return
 	}
@@ -503,8 +525,14 @@ func (e *nodeEngine) loop(nd *runNode, rx <-chan reverseMsg) {
 				m.Hold--
 				e.enqueue(nd.id, m)
 			case nd.rel != nil:
+				if e.obs != nil && m.Kind == msgData {
+					e.obs.Deliver(nd.id, -1, int64(m.Seq))
+				}
 				nd.handle(e, m)
 			default:
+				if e.obs != nil {
+					e.obs.Deliver(nd.id, -1, int64(m.Seq))
+				}
 				nd.receive(e, m.Slot)
 			}
 			e.c.done(1)

@@ -2,9 +2,11 @@ package dist
 
 import (
 	"sync"
+	"time"
 
 	"linkreversal/internal/core"
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 )
 
 // shardMsg is one transmission in transit inside the sharded engine,
@@ -193,6 +195,7 @@ func newShardEngine(c *runCore, in *core.Init, alg Algorithm, opts Options, shar
 		if coalesce {
 			e.shards[i].coalesce = make(map[shardMsg]int32)
 		}
+		e.shards[i].obs = opts.Observer.Shard(i) // nil when no observer is armed
 	}
 	for u := 0; u < n; u++ {
 		s := e.shards[e.part.shardOf(graph.NodeID(u))]
@@ -255,6 +258,10 @@ type shard struct {
 	// tx is the ingress channel of this shard's mailbox; rx the pump's
 	// output.
 	tx, rx chan *batch
+	// obs is this shard's telemetry sink, nil unless Options.Observer is
+	// armed — every hook below it is guarded by a nil check, so the
+	// disarmed hot path costs one predictable branch.
+	obs *obs.Shard
 }
 
 var _ nodeEnv = (*shard)(nil)
@@ -269,6 +276,9 @@ var _ nodeEnv = (*shard)(nil)
 // time.
 func (s *shard) announce(u graph.NodeID, targets int) {
 	s.eng.c.record(u, targets, 0, 0)
+	if s.obs != nil {
+		s.obs.Step(u, targets)
+	}
 }
 
 // deliver routes one reversal message: same shard → local run-queue,
@@ -308,6 +318,9 @@ func (s *shard) route(m shardMsg) {
 		return
 	}
 	s.local = append(s.local, m)
+	if s.obs != nil {
+		s.obs.RunQueue(len(s.local))
+	}
 }
 
 // send routes one transmission through the fault injector (judgeSend):
@@ -318,9 +331,20 @@ func (s *shard) route(m shardMsg) {
 // this traffic, so no extra tokens are needed.
 func (s *shard) send(from graph.NodeID, fromSlot int32, to graph.NodeID, toSlot int32, seq uint32, attempt int32, kind msgKind) {
 	f, dropped, notify := s.eng.c.judgeSend(from, to, seq, attempt, kind)
+	if s.obs != nil {
+		switch {
+		case kind == msgAck:
+			s.obs.Ack(from, to, int64(seq))
+		case kind == msgData && attempt > 0:
+			s.obs.Retransmit(from, to, int64(seq))
+		}
+	}
 	if dropped {
 		if notify {
 			s.local = append(s.local, shardMsg{To: from, Slot: fromSlot, Seq: seq, Kind: msgNack})
+			if s.obs != nil {
+				s.obs.Nack(from, to, int64(seq))
+			}
 		}
 		return
 	}
@@ -346,6 +370,9 @@ func (s *shard) process(m shardMsg) {
 	}
 	nd := &s.eng.nodes[m.To]
 	for c := uint8(0); ; c++ {
+		if s.obs != nil && m.Kind == msgData {
+			s.obs.Deliver(m.To, -1, int64(m.Seq))
+		}
 		if nd.rel != nil {
 			nd.handle(s, reverseMsg{Slot: m.Slot, Seq: m.Seq, Kind: m.Kind})
 		} else {
@@ -364,6 +391,13 @@ func (s *shard) process(m shardMsg) {
 // which point the batch buffer goes back to the pool.
 func (s *shard) loop() {
 	defer s.eng.c.wg.Done()
+	// With an observer armed, the worker's wall clock is split into busy
+	// (processing) and idle (blocked on the mailbox) spans around each
+	// select. One time.Now per batch, never per message.
+	var mark time.Time
+	if s.obs != nil {
+		mark = time.Now()
+	}
 	for _, nd := range s.nodes {
 		nd.act(s)
 	}
@@ -372,10 +406,21 @@ func (s *shard) loop() {
 	}
 	s.eng.c.done(1)
 	for {
+		if s.obs != nil {
+			now := time.Now()
+			s.obs.Busy(now.Sub(mark))
+			mark = now
+		}
 		select {
 		case <-s.eng.c.stop:
 			return
 		case b := <-s.rx:
+			if s.obs != nil {
+				now := time.Now()
+				s.obs.Idle(now.Sub(mark))
+				mark = now
+				s.obs.Mailbox(len(s.tx) + 1) // the batch in hand plus ingress backlog
+			}
 			for _, m := range b.msgs {
 				s.process(m)
 			}
@@ -413,10 +458,12 @@ func (s *shard) drain() bool {
 func (s *shard) flush() bool {
 	if s.remotePending > 0 {
 		s.eng.c.remote.Add(s.remotePending)
+		s.obs.Remote(s.remotePending)
 		s.remotePending = 0
 	}
 	if s.coalescedPending > 0 {
 		s.eng.c.coalesced.Add(s.coalescedPending)
+		s.obs.Coalesced(s.coalescedPending)
 		s.coalescedPending = 0
 	}
 	if len(s.coalesce) > 0 {
@@ -427,6 +474,9 @@ func (s *shard) flush() bool {
 			continue
 		}
 		s.eng.c.addBatches(1)
+		if s.obs != nil {
+			s.obs.Batch(len(b.msgs))
+		}
 		select {
 		case s.eng.shards[d].tx <- b:
 		case <-s.eng.c.stop:

@@ -9,9 +9,27 @@ import (
 	"linkreversal/internal/core"
 	"linkreversal/internal/dist"
 	"linkreversal/internal/faults"
+	"linkreversal/internal/obs"
 	"linkreversal/internal/trace"
 	"linkreversal/internal/workload"
 )
+
+// reproTail is how many flight-recorder events a Reproducer carries: the
+// tail of the confirming run's protocol events, enough to see what led up
+// to the breach without bloating the artifact.
+const reproTail = 64
+
+// observed assembles the candidate's run options with a fresh flight
+// recorder armed, seeded from the genome so the sampled event multiset is
+// reproducible from the artifact alone. Observers are stateful per run —
+// never share one across executions.
+func observed(c Candidate) (dist.Options, *obs.Observer) {
+	o := obs.New()
+	o.Seed = c.Genome.Seed
+	opts := c.options()
+	opts.Observer = o
+	return opts, o
+}
 
 // Candidate is one point of the search space: the fault genome plus the
 // schedule knobs that pick how the execution engines run it. Both engines
@@ -203,7 +221,8 @@ func stop(err error) bool {
 // evaluate runs one candidate, scores it, and checks every oracle;
 // breaches are shrunk and recorded immediately.
 func (h *Hunter) evaluate(ctx context.Context, cand Candidate, preset bool) (*Evaluated, error) {
-	res, err := dist.RunWith(ctx, h.in, h.cfg.Alg, cand.options())
+	opts, o := observed(cand)
+	res, err := dist.RunWith(ctx, h.in, h.cfg.Alg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -215,8 +234,8 @@ func (h *Hunter) evaluate(ctx context.Context, cand Candidate, preset bool) (*Ev
 		Stats:     res.Stats,
 		Preset:    preset,
 	}
-	if breaches := h.cfg.Oracle.Check(h.in, h.cfg.Alg, cand.options().Adversary, res); len(breaches) > 0 {
-		rep := h.shrink(ctx, cand, res, breaches)
+	if breaches := h.cfg.Oracle.Check(h.in, h.cfg.Alg, opts.Adversary, res); len(breaches) > 0 {
+		rep := h.shrink(ctx, cand, res, breaches, o.Tail(reproTail))
 		h.report.Reproducers = append(h.report.Reproducers, rep)
 	}
 	return ev, nil

@@ -126,6 +126,9 @@ func TestSeededMutantOracleFindsBreach(t *testing.T) {
 	if r0.ShrinkRuns == 0 {
 		t.Error("shrinker spent no runs")
 	}
+	if len(r0.Events) == 0 || len(r0.Events) > reproTail {
+		t.Errorf("artifact carries %d flight-recorder events, want 1..%d", len(r0.Events), reproTail)
+	}
 
 	// The artifact must survive a JSON round trip and still reproduce.
 	raw, err := json.Marshal(r0)
@@ -135,6 +138,9 @@ func TestSeededMutantOracleFindsBreach(t *testing.T) {
 	var decoded Reproducer
 	if err := json.Unmarshal(raw, &decoded); err != nil {
 		t.Fatal(err)
+	}
+	if len(decoded.Events) != len(r0.Events) || decoded.Events[0].Kind != r0.Events[0].Kind {
+		t.Errorf("event tail lost in round trip: %d/%d", len(decoded.Events), len(r0.Events))
 	}
 	breaches, err := Replay(context.Background(), cfg.Oracle, decoded)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"linkreversal/internal/core"
 	"linkreversal/internal/dist"
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 )
 
 // Reproducer is the replayable artifact of an oracle breach: the smallest
@@ -26,6 +27,11 @@ type Reproducer struct {
 	WitnessLen int `json:"witness_len,omitempty"`
 	// ShrinkRuns is the number of re-executions minimization spent.
 	ShrinkRuns int `json:"shrink_runs"`
+	// Events is the flight recorder's tail from the confirming run: the
+	// last protocol events (reversals, acks, retransmits) before the breach
+	// verdict, recorded with sampling seeded from the genome so a replay of
+	// the artifact observes the same sampled multiset.
+	Events []obs.Event `json:"events,omitempty"`
 }
 
 // ParseAlgorithm parses a protocol name: the short lrhunt spellings (fr,
@@ -74,7 +80,7 @@ func Replay(ctx context.Context, o Oracle, rep Reproducer) ([]Breach, error) {
 // each reduction only if a fresh run still breaches. Every confirming run
 // costs one execution; the budget caps the total. The returned artifact
 // describes the last configuration whose breach was confirmed.
-func (h *Hunter) shrink(ctx context.Context, cand Candidate, res *dist.Result, breaches []Breach) Reproducer {
+func (h *Hunter) shrink(ctx context.Context, cand Candidate, res *dist.Result, breaches []Breach, tail []obs.Event) Reproducer {
 	spec := h.cfg.Topo
 	runs := 0
 	lastIn, lastRes, lastBreaches := h.in, res, breaches
@@ -92,7 +98,7 @@ func (h *Hunter) shrink(ctx context.Context, cand Candidate, res *dist.Result, b
 		if err != nil {
 			return false
 		}
-		opts := c.options()
+		opts, o := observed(c)
 		r, err := dist.RunWith(ctx, in, h.cfg.Alg, opts)
 		if err != nil {
 			return false
@@ -102,6 +108,7 @@ func (h *Hunter) shrink(ctx context.Context, cand Candidate, res *dist.Result, b
 			return false
 		}
 		lastIn, lastRes, lastBreaches = in, r, br
+		tail = o.Tail(reproTail)
 		return true
 	}
 
@@ -176,6 +183,7 @@ func (h *Hunter) shrink(ctx context.Context, cand Candidate, res *dist.Result, b
 		Breaches:   lastBreaches,
 		WitnessLen: h.cfg.Oracle.witness(lastIn, h.cfg.Alg, lastRes.Trace, lastBreaches[0]),
 		ShrinkRuns: runs,
+		Events:     tail,
 	}
 }
 

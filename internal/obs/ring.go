@@ -1,0 +1,76 @@
+package obs
+
+import "sync/atomic"
+
+// ring is a fixed-size, lock-free, multi-writer overwrite-oldest event
+// buffer. Writers claim a monotonically increasing ticket and publish into
+// slot ticket&mask; readers are wait-free and never block writers.
+//
+// Every word of a slot is atomic, so concurrent publish/snapshot is clean
+// under the race detector. A slot's seq word doubles as its validity
+// marker: a writer first stores 0 (slot torn), then the payload words, then
+// the ticket. A reader accepts a slot only if it observes the expected
+// ticket in seq both before and after copying the payload; a slot being
+// overwritten concurrently fails one of the two checks and is dropped from
+// the snapshot rather than surfacing a torn event. Tickets start at 1 so
+// the torn marker 0 is never a valid ticket.
+type slot struct {
+	seq atomic.Uint64
+	w0  atomic.Uint64
+	w1  atomic.Uint64
+	w2  atomic.Uint64
+}
+
+type ring struct {
+	mask  uint64
+	head  atomic.Uint64 // last ticket issued; 0 = empty
+	slots []slot
+}
+
+func newRing(size int) *ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &ring{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// put publishes one encoded event, overwriting the oldest if full.
+func (r *ring) put(w0, w1, w2 uint64) {
+	t := r.head.Add(1)
+	s := &r.slots[t&r.mask]
+	s.seq.Store(0)
+	s.w0.Store(w0)
+	s.w1.Store(w1)
+	s.w2.Store(w2)
+	s.seq.Store(t)
+}
+
+// snapshot appends up to the ring's capacity of most-recent events to dst
+// in ticket order (oldest first). Slots that are mid-overwrite are skipped.
+func (r *ring) snapshot(dst []ringEvent) []ringEvent {
+	h := r.head.Load()
+	if h == 0 {
+		return dst
+	}
+	lo := uint64(1)
+	if size := uint64(len(r.slots)); h > size {
+		lo = h - size + 1
+	}
+	for t := lo; t <= h; t++ {
+		s := &r.slots[t&r.mask]
+		if s.seq.Load() != t {
+			continue
+		}
+		w0, w1, w2 := s.w0.Load(), s.w1.Load(), s.w2.Load()
+		if s.seq.Load() != t {
+			continue
+		}
+		dst = append(dst, ringEvent{seq: t, w0: w0, w1: w1, w2: w2})
+	}
+	return dst
+}
+
+type ringEvent struct {
+	seq, w0, w1, w2 uint64
+}

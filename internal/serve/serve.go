@@ -43,6 +43,7 @@ import (
 
 	"linkreversal/internal/dist"
 	"linkreversal/internal/graph"
+	"linkreversal/internal/obs"
 )
 
 // Config carries the deployment's descriptive provenance — echoed by
@@ -64,6 +65,16 @@ type Config struct {
 	// PublishEveryMS is the epoch-snapshot publication cadence in
 	// milliseconds (0 = quiescence-only publication).
 	PublishEveryMS int64 `json:"publish_every_ms,omitempty"`
+	// Observer is the engine observer armed on the served network, if any.
+	// When set, GET /metrics grows the lrd_shard_* families, GET
+	// /debug/events serves the flight recorder's decoded tail and GET
+	// /debug/trace exports it as a Chrome trace-event file. Operational,
+	// not provenance: excluded from the /status echo.
+	Observer *obs.Observer `json:"-"`
+	// Pprof enables the net/http/pprof handlers under GET /debug/pprof/.
+	// Off by default: profiling endpoints on a routing daemon are a
+	// deliberate operator choice.
+	Pprof bool `json:"-"`
 }
 
 // Server is the HTTP serving layer over one DynamicNetwork. Create it
@@ -97,6 +108,7 @@ func New(net *dist.DynamicNetwork, cfg Config) *Server {
 	s.mux.Handle("POST /churn", s.instrument("churn", s.handleChurn))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.registerDebug()
 	return s
 }
 
@@ -365,6 +377,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	s.metrics.render(w, s.net.ReadSnapshot())
+	renderShardMetrics(w, s.cfg.Observer)
 	return http.StatusOK
 }
 

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one entry in the Chrome trace-event format — the JSON
+// schema understood by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Only the fields the obs flight recorder needs are modeled: metadata
+// ("M", thread naming), instants ("i", one protocol event on a track) and
+// counters ("C").
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	TS    float64        `json:"ts"`          // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container variant of the format; the
+// displayTimeUnit only affects how viewers render, not the data.
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	if events == nil {
+		events = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

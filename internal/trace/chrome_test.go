@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// nil must serialize as an empty array, not null — Perfetto rejects
+	// {"traceEvents": null}.
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Errorf("empty export = %s, want traceEvents:[]", buf.String())
+	}
+}
+
+func TestWriteChromeTraceRoundTrip(t *testing.T) {
+	in := []ChromeEvent{
+		{Name: "thread_name", Phase: "M", PID: 1, TID: 2, Args: map[string]any{"name": "shard 0"}},
+		{Name: "reversal", Phase: "i", Scope: "t", TS: 12.5, PID: 1, TID: 2, Args: map[string]any{"node": 3.0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("round trip lost events: %d", len(out.TraceEvents))
+	}
+	if got := out.TraceEvents[1]; got.Name != "reversal" || got.Scope != "t" || got.TS != 12.5 {
+		t.Errorf("instant round trip = %+v", got)
+	}
+	// Zero Dur must be omitted: instants with a dur key confuse viewers.
+	if bytes.Contains(buf.Bytes(), []byte(`"dur"`)) {
+		t.Errorf("zero dur not omitted: %s", buf.String())
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"linkreversal/internal/faults"
 	"linkreversal/internal/graph"
 	"linkreversal/internal/mutex"
+	"linkreversal/internal/obs"
 	"linkreversal/internal/routing"
 	"linkreversal/internal/sched"
 	"linkreversal/internal/serve"
@@ -515,6 +516,32 @@ const (
 // network). The zero value reproduces RunDistributed's behaviour.
 type DistOptions = dist.Options
 
+// EngineObserver is the engine-deep observability hook for both execution
+// planes: set one on DistOptions.Observer or DynNetOptions.Observer and the
+// engines feed it per-shard telemetry counters and a deterministic-sampled
+// flight recorder of protocol events. A nil observer costs nothing — every
+// hook collapses to one branch. See internal/obs for the counter and
+// sampling semantics.
+type EngineObserver = obs.Observer
+
+// EngineEvent is one decoded flight-recorder entry: a protocol event
+// (reversal, delivery, ack/nack, retransmit, epoch publication,
+// reference-level reflect, partition detect, link churn) stamped with the
+// observer's logical clock.
+type EngineEvent = obs.Event
+
+// EngineEventKind discriminates EngineEvent entries.
+type EngineEventKind = obs.EventKind
+
+// ShardStats is one shard's telemetry snapshot: work and transport
+// counters, run-queue and mailbox high-water marks, busy/idle time and
+// flight-recorder occupancy.
+type ShardStats = obs.ShardStats
+
+// NewEngineObserver returns an observer with the default ring size and
+// sample-every-event policy; adjust the fields before the run starts.
+func NewEngineObserver() *EngineObserver { return obs.New() }
+
 // NetworkAdversary is a seeded fault-injection scenario for
 // RunDistributedWith: a fault policy plus the seed every decision is
 // replayable from and the retry budget of the fair-loss bound. Use the
@@ -588,6 +615,10 @@ type DistReport struct {
 	Acyclic             bool
 	DestinationOriented bool
 	Final               *Orientation
+	// Shards is the per-shard telemetry captured when DistOptions.Observer
+	// was armed (nil otherwise): one entry per engine shard plus a trailing
+	// control-plane entry with Shard == -1.
+	Shards []ShardStats
 }
 
 // RunDistributed executes the protocol with one goroutine per node over an
@@ -627,6 +658,7 @@ func RunDistributedWith(ctx context.Context, topo *Topology, alg DistAlgorithm, 
 		Acyclic:             graph.IsAcyclic(res.Final),
 		DestinationOriented: graph.IsDestinationOriented(res.Final, topo.Dest),
 		Final:               res.Final,
+		Shards:              res.Shards,
 	}, nil
 }
 
